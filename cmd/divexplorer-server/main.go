@@ -1,0 +1,31 @@
+// Command divexplorer-server runs the DivExplorer HTTP API: POST a CSV
+// to /analyze and receive the divergence analysis as JSON, CSV or an
+// HTML report. See internal/server for the endpoint documentation.
+//
+//	divexplorer-server -addr :8080
+//	curl --data-binary @data.csv 'http://localhost:8080/analyze?truth=label&pred=predicted&format=html'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	log.Printf("divexplorer-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

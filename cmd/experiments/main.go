@@ -1,0 +1,85 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	experiments -exp all            # run everything, in paper order
+//	experiments -exp table2         # one experiment
+//	experiments -list               # list experiment identifiers
+//	experiments -exp all -out DIR   # also write one file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e.g. table2, fig6, sec6.5) or 'all'")
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	outDir := flag.String("out", "", "directory to additionally write per-experiment output files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*exp, *outDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, outDir string, w io.Writer) error {
+	var todo []experiments.Experiment
+	if id == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		todo = []experiments.Experiment{e}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range todo {
+		if _, err := io.WriteString(w, report.Section(e.Title)); err != nil {
+			return err
+		}
+		var sink io.Writer = w
+		var f *os.File
+		if outDir != "" {
+			name := strings.ReplaceAll(e.ID, ".", "_") + ".txt"
+			var err error
+			f, err = os.Create(filepath.Join(outDir, name))
+			if err != nil {
+				return err
+			}
+			sink = io.MultiWriter(w, f)
+		}
+		err := e.Run(sink)
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("table4", "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset characteristics") {
+		t.Errorf("missing section title:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "COMPAS") {
+		t.Error("table body missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("table99", "", &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run("table4", dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "COMPAS") {
+		t.Error("output file lacks table body")
+	}
+}

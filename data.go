@@ -1,0 +1,122 @@
+package divexplorer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+)
+
+// ReadCSV reads a headered CSV stream into a Data. All columns are
+// treated as categorical; use Discretize* helpers afterwards for
+// continuous columns.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Data, error) {
+	return dataset.ReadCSV(r, opts)
+}
+
+// WriteCSV writes a Data as headered CSV.
+func WriteCSV(w io.Writer, d *Data) error { return dataset.WriteCSV(w, d) }
+
+// NewDataBuilder creates a builder for assembling a Data from string
+// records with the given attribute names.
+func NewDataBuilder(attrNames ...string) *DataBuilder {
+	return dataset.NewBuilder(attrNames...)
+}
+
+// DiscretizeEqualWidth rebuilds the dataset with the named numeric
+// attribute split into n equal-width bins.
+func DiscretizeEqualWidth(d *Data, attr string, n int) (*Data, error) {
+	return rediscretize(d, attr, func(xs []float64) (discretize.Binner, error) {
+		return discretize.NewEqualWidth(xs, n)
+	})
+}
+
+// DiscretizeEqualFrequency rebuilds the dataset with the named numeric
+// attribute split into up to n equal-frequency (quantile) bins.
+func DiscretizeEqualFrequency(d *Data, attr string, n int) (*Data, error) {
+	return rediscretize(d, attr, func(xs []float64) (discretize.Binner, error) {
+		return discretize.NewEqualFrequency(xs, n)
+	})
+}
+
+// DiscretizeMDLP rebuilds the dataset with the named numeric attribute
+// binned by supervised entropy minimization with the Fayyad–Irani MDL
+// stopping criterion, using the given Boolean labels. This aligns bins
+// with label behavior — the preferred choice when the discretized data
+// will be audited against those labels. Fails when no cut is
+// informative; fall back to DiscretizeEqualFrequency then.
+func DiscretizeMDLP(d *Data, attr string, labels []bool) (*Data, error) {
+	if len(labels) != d.NumRows() {
+		return nil, fmt.Errorf("divexplorer: %d labels for %d rows", len(labels), d.NumRows())
+	}
+	return rediscretize(d, attr, func(xs []float64) (discretize.Binner, error) {
+		return discretize.NewEntropyMDLP(xs, labels)
+	})
+}
+
+// DiscretizeCutPoints rebuilds the dataset with the named numeric
+// attribute split at explicit interior cut points.
+func DiscretizeCutPoints(d *Data, attr string, cuts []float64) (*Data, error) {
+	b, err := discretize.NewCutPoints(cuts)
+	if err != nil {
+		return nil, err
+	}
+	return discretize.Apply(d, attr, b)
+}
+
+func rediscretize(d *Data, attr string, mk func([]float64) (discretize.Binner, error)) (*Data, error) {
+	idx := d.AttrIndex(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("divexplorer: unknown attribute %q", attr)
+	}
+	if !discretize.Numeric(d, idx) {
+		return nil, fmt.Errorf("divexplorer: attribute %q is not numeric", attr)
+	}
+	xs, err := columnFloats(d, idx)
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(xs)
+	if err != nil {
+		return nil, err
+	}
+	return discretize.Apply(d, attr, b)
+}
+
+func columnFloats(d *Data, idx int) ([]float64, error) {
+	xs := make([]float64, d.NumRows())
+	for r := range d.Rows {
+		v := strings.TrimSpace(d.Value(r, idx))
+		var x float64
+		if _, err := fmt.Sscanf(v, "%g", &x); err != nil {
+			return nil, fmt.Errorf("divexplorer: value %q is not numeric: %w", v, err)
+		}
+		xs[r] = x
+	}
+	return xs, nil
+}
+
+// ParseBoolColumn interprets a column as Boolean labels. Accepted
+// positive values: "1", "true", "t", "yes", "y" (case-insensitive);
+// negatives: "0", "false", "f", "no", "n". Anything else is an error.
+func ParseBoolColumn(d *Data, attr string) ([]bool, error) {
+	idx := d.AttrIndex(attr)
+	if idx < 0 {
+		return nil, fmt.Errorf("divexplorer: unknown attribute %q", attr)
+	}
+	out := make([]bool, d.NumRows())
+	for r := range d.Rows {
+		v := strings.ToLower(strings.TrimSpace(d.Value(r, idx)))
+		switch v {
+		case "1", "true", "t", "yes", "y":
+			out[r] = true
+		case "0", "false", "f", "no", "n":
+			out[r] = false
+		default:
+			return nil, fmt.Errorf("divexplorer: row %d: cannot parse %q as Boolean", r, v)
+		}
+	}
+	return out, nil
+}

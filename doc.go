@@ -1,0 +1,35 @@
+// Package divexplorer is a Go implementation of DivExplorer, the
+// pattern-divergence analysis of classifier behavior from:
+//
+//	Eliana Pastor, Luca de Alfaro, Elena Baralis.
+//	"Looking for Trouble: Analyzing Classifier Behavior via Pattern
+//	Divergence." SIGMOD 2021.
+//
+// Given a dataset of discrete attributes, ground-truth labels, and the
+// predictions of an arbitrary black-box classifier, DivExplorer measures,
+// for every itemset (conjunction of attribute=value predicates) with
+// support above a threshold, the divergence of performance metrics such
+// as the false positive rate on the itemset's subgroup versus the whole
+// dataset. On top of the exhaustive exploration it provides:
+//
+//   - Bayesian significance of each divergence (Beta posterior + Welch t);
+//   - local Shapley values attributing an itemset's divergence to items;
+//   - global item divergence — a Shapley-value generalization measuring
+//     each item's lattice-wide contribution to divergence;
+//   - corrective items, which reduce divergence when added to a pattern;
+//   - redundancy pruning for compact summaries;
+//   - itemset-lattice exploration with corrective-phenomenon highlighting.
+//
+// # Quick start
+//
+//	data, _ := divexplorer.ReadCSV(f, divexplorer.CSVOptions{})
+//	exp, _ := divexplorer.NewClassifierExplorer(data, truth, pred)
+//	res, _ := exp.Explore(0.05)
+//	for _, p := range res.TopK(divexplorer.FPR, 10, divexplorer.ByDivergence) {
+//	    fmt.Println(res.Format(p.Items), p.Support, p.Divergence, p.T)
+//	}
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record
+// of every table and figure.
+package divexplorer

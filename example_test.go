@@ -1,0 +1,99 @@
+package divexplorer_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	divexplorer "repro"
+)
+
+const exampleCSV = `plan,channel,truth,pred
+basic,web,0,1
+basic,web,0,1
+basic,web,0,1
+basic,web,0,0
+basic,phone,0,0
+basic,phone,0,0
+basic,phone,0,1
+premium,web,0,0
+premium,web,0,0
+premium,web,0,0
+premium,phone,1,1
+premium,phone,1,1
+premium,phone,1,0
+premium,phone,1,0
+`
+
+// Example demonstrates the core workflow: load a CSV, explore, and list
+// the most FPR-divergent subgroups.
+func Example() {
+	data, err := divexplorer.ReadCSV(strings.NewReader(exampleCSV), divexplorer.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, _ := divexplorer.ParseBoolColumn(data, "truth")
+	pred, _ := divexplorer.ParseBoolColumn(data, "pred")
+	data, _ = data.DropAttrs("truth", "pred")
+
+	exp, err := divexplorer.NewClassifierExplorer(data, truth, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Explore(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overall FPR %.2f\n", res.GlobalRate(divexplorer.FPR))
+	for _, p := range res.TopK(divexplorer.FPR, 2, divexplorer.ByDivergence) {
+		fmt.Printf("%s: Δ=%+.2f\n", res.Format(p.Items), p.Divergence)
+	}
+	// Output:
+	// overall FPR 0.40
+	// plan=basic, channel=web: Δ=+0.35
+	// plan=basic: Δ=+0.17
+}
+
+// ExampleResult_LocalShapley attributes a pattern's divergence to its
+// items with Shapley values.
+func ExampleResult_LocalShapley() {
+	data, _ := divexplorer.ReadCSV(strings.NewReader(exampleCSV), divexplorer.CSVOptions{})
+	truth, _ := divexplorer.ParseBoolColumn(data, "truth")
+	pred, _ := divexplorer.ParseBoolColumn(data, "pred")
+	data, _ = data.DropAttrs("truth", "pred")
+	exp, _ := divexplorer.NewClassifierExplorer(data, truth, pred)
+	res, _ := exp.Explore(0.1)
+
+	is, _ := res.Itemset("plan=basic", "channel=web")
+	contributions, _ := res.LocalShapley(is, divexplorer.FPR)
+	var sum float64
+	for _, c := range contributions {
+		sum += c.Value
+	}
+	div, _ := res.Divergence(is, divexplorer.FPR)
+	fmt.Printf("contributions sum to divergence: %v\n", almostEqual(sum, div))
+	// Output:
+	// contributions sum to divergence: true
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// ExampleExplorer_ExploreTopK shows the memory-bounded leaderboard path.
+func ExampleExplorer_ExploreTopK() {
+	data, _ := divexplorer.ReadCSV(strings.NewReader(exampleCSV), divexplorer.CSVOptions{})
+	truth, _ := divexplorer.ParseBoolColumn(data, "truth")
+	pred, _ := divexplorer.ParseBoolColumn(data, "pred")
+	data, _ = data.DropAttrs("truth", "pred")
+	exp, _ := divexplorer.NewClassifierExplorer(data, truth, pred)
+
+	top, _ := exp.ExploreTopK(0.1, divexplorer.FPR, 1, divexplorer.ByDivergence)
+	fmt.Println(len(top) == 1 && top[0].Divergence > 0)
+	// Output:
+	// true
+}

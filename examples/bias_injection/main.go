@@ -1,0 +1,109 @@
+// Bias injection: the paper's user-study scenario (Sec. 6.6) as a
+// debugging walkthrough.
+//
+// We corrupt the training labels of one COMPAS subgroup
+// ({age>45, charge=M} — everyone marked recidivist), train an MLP on the
+// corrupted data, and then hunt for the damage on a clean test set with
+// three tools: DivExplorer (finds the exact injected pattern at rank 1),
+// Slice Finder (flags the two single items and prunes — only a partial
+// identification), and the FDR-controlled significant-pattern report.
+//
+// Run with: go run ./examples/bias_injection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	divexplorer "repro"
+	"repro/internal/classifier"
+	"repro/internal/datagen"
+	"repro/internal/slicefinder"
+)
+
+func main() {
+	const seed = 99
+	gen := datagen.COMPAS(seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Split 70/30 and inject the bias into the training labels.
+	n := gen.Data.NumRows()
+	perm := rng.Perm(n)
+	nTest := n * 3 / 10
+	test := gen.Data.Subset(perm[:nTest])
+	train := gen.Data.Subset(perm[nTest:])
+	trainTruth := make([]bool, len(perm)-nTest)
+	for i, r := range perm[nTest:] {
+		trainTruth[i] = gen.Truth[r]
+	}
+	testTruth := make([]bool, nTest)
+	for i, r := range perm[:nTest] {
+		testTruth[i] = gen.Truth[r]
+	}
+	ageIdx := gen.Data.AttrIndex("age")
+	chargeIdx := gen.Data.AttrIndex("charge")
+	injected := 0
+	for i := range train.Rows {
+		if train.Value(i, ageIdx) == ">45" && train.Value(i, chargeIdx) == "M" {
+			trainTruth[i] = true
+			injected++
+		}
+	}
+	fmt.Printf("injected bias into %d training instances of {age=>45, charge=M}\n", injected)
+
+	// Train the (now biased) model and classify the clean test set.
+	mlp, err := classifier.TrainMLP(train, trainTruth, classifier.MLPConfig{
+		Hidden: 16, Epochs: 40, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := classifier.PredictAll(mlp, test)
+	fpr, fnr := classifier.ConfusionRates(testTruth, pred)
+	fmt.Printf("biased model on clean test data: FPR=%.3f FNR=%.3f\n\n", fpr, fnr)
+
+	// Tool 1: DivExplorer.
+	exp, err := divexplorer.NewClassifierExplorer(test, testTruth, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Explore(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DivExplorer — top FPR-divergent patterns:")
+	for _, rk := range res.TopK(divexplorer.FPR, 4, divexplorer.ByDivergence) {
+		fmt.Printf("  %-44s Δ=%+.3f t=%.1f\n", res.Format(rk.Items), rk.Divergence, rk.T)
+	}
+
+	// Tool 2: FDR-controlled significance report.
+	sig := res.SignificantPatterns(divexplorer.FPR, 0.01, divexplorer.ByAbsDivergence)
+	fmt.Printf("\n%d patterns significant at FDR q=0.01; strongest:\n", len(sig))
+	for i, s := range sig {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %-44s Δ=%+.3f adj-p=%.2g\n", res.Format(s.Items), s.Divergence, s.AdjP)
+	}
+
+	// Tool 3: Slice Finder on the model's log loss — note the pruning.
+	proba := make([]float64, test.NumRows())
+	for i, row := range test.Rows {
+		proba[i] = mlp.PredictProba(row)
+	}
+	loss, err := slicefinder.LogLoss(testTruth, proba)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sf, err := slicefinder.New(test, loss, slicefinder.Config{MaxDegree: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSlice Finder (defaults) — problematic slices:")
+	for _, s := range sf.Find() {
+		fmt.Printf("  %-44s φ=%.2f degree=%d\n", sf.Catalog().Format(s.Items), s.EffectSize, s.Degree)
+	}
+	fmt.Println("\nnote: Slice Finder stops at the single items; only the exhaustive")
+	fmt.Println("exploration names the injected pattern itself.")
+}

@@ -1,0 +1,70 @@
+// Model debugging: finding a planted error pocket with global divergence.
+//
+// This example reproduces the artificial-dataset study of Sec. 4.4: a
+// classifier's errors are concentrated in the itemsets a=b=c=0 and
+// a=b=c=1, invisible to per-item statistics. Individual item divergence
+// drowns in noise; global item divergence — the Shapley generalization
+// over the whole frequent lattice — cleanly isolates the three attributes
+// involved. The exhaustive exploration then pinpoints the exact pockets.
+//
+// Run with: go run ./examples/model_debugging
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	divexplorer "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	// 50,000 instances, ten i.i.d. binary attributes; ground truth flipped
+	// for half the instances with a=b=c (see Sec. 4.4 of the paper).
+	gen := datagen.Artificial(11)
+
+	exp, err := divexplorer.NewClassifierExplorer(gen.Data, gen.Truth, gen.Pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Explore(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("artificial: %d rows, %d frequent itemsets at s=0.01\n\n",
+		gen.Data.NumRows(), res.NumPatterns())
+
+	// Step 1: per-item statistics are useless here.
+	fmt.Println("individual item FPR divergence (top 6 by |Δ|):")
+	ind := res.IndividualDivergence(divexplorer.FPR)
+	type itemDiv struct {
+		item divexplorer.Item
+		div  float64
+	}
+	var byInd []itemDiv
+	for it, d := range ind {
+		if !math.IsNaN(d) {
+			byInd = append(byInd, itemDiv{it, d})
+		}
+	}
+	sort.Slice(byInd, func(i, j int) bool { return math.Abs(byInd[i].div) > math.Abs(byInd[j].div) })
+	for _, x := range byInd[:6] {
+		fmt.Printf("  %-6s %+.4f\n", res.ItemName(x.item), x.div)
+	}
+
+	// Step 2: global divergence surfaces a, b, c.
+	fmt.Println("\nglobal item FPR divergence (top 6):")
+	cmp := res.CompareItemDivergence(divexplorer.FPR)
+	for _, c := range cmp[:6] {
+		fmt.Printf("  %-6s %+.4f\n", res.ItemName(c.Item), c.Global)
+	}
+
+	// Step 3: the exhaustive exploration names the exact pockets.
+	fmt.Println("\nmost FPR-divergent itemsets:")
+	for _, rk := range res.TopK(divexplorer.FPR, 2, divexplorer.ByDivergence) {
+		fmt.Printf("  %-24s sup=%.3f FPR=%.3f Δ=%+.3f t=%.1f\n",
+			res.Format(rk.Items), rk.Support, rk.Rate, rk.Divergence, rk.T)
+	}
+}

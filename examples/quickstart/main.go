@@ -1,0 +1,88 @@
+// Quickstart: run DivExplorer on a small inline CSV of loan decisions.
+//
+// The dataset has two discrete attributes plus a ground-truth and a
+// predicted label. We explore all patterns with support >= 0.1, print the
+// most FPR-divergent subgroups with their Bayesian significance, and
+// decompose the top pattern's divergence into per-item Shapley
+// contributions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	divexplorer "repro"
+)
+
+const loans = `employment,region,truth,pred
+salaried,urban,0,0
+salaried,urban,0,0
+salaried,urban,1,1
+salaried,rural,0,1
+salaried,rural,0,0
+salaried,rural,1,1
+self-employed,urban,0,1
+self-employed,urban,0,1
+self-employed,urban,0,1
+self-employed,urban,0,0
+self-employed,urban,1,1
+self-employed,rural,0,1
+self-employed,rural,0,0
+self-employed,rural,1,0
+salaried,urban,0,0
+salaried,urban,1,1
+salaried,rural,0,0
+self-employed,rural,0,0
+self-employed,rural,1,1
+salaried,urban,0,0
+`
+
+func main() {
+	data, err := divexplorer.ReadCSV(strings.NewReader(loans), divexplorer.CSVOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := divexplorer.ParseBoolColumn(data, "truth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := divexplorer.ParseBoolColumn(data, "pred")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err = data.DropAttrs("truth", "pred")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exp, err := divexplorer.NewClassifierExplorer(data, truth, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := exp.Explore(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("overall FPR = %.3f over %d rows (%d frequent itemsets)\n\n",
+		res.GlobalRate(divexplorer.FPR), data.NumRows(), res.NumPatterns())
+
+	fmt.Println("most FPR-divergent subgroups:")
+	for _, rk := range res.TopK(divexplorer.FPR, 5, divexplorer.ByDivergence) {
+		fmt.Printf("  %-42s sup=%.2f  FPR=%.3f  Δ=%+.3f  t=%.1f\n",
+			res.Format(rk.Items), rk.Support, rk.Rate, rk.Divergence, rk.T)
+	}
+
+	top := res.TopK(divexplorer.FPR, 1, divexplorer.ByDivergence)[0]
+	fmt.Printf("\nShapley decomposition of %s:\n", res.Format(top.Items))
+	cs, err := res.LocalShapley(top.Items, divexplorer.FPR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cs {
+		fmt.Printf("  %-24s %+.3f\n", res.ItemName(c.Item), c.Value)
+	}
+}

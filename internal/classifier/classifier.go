@@ -1,0 +1,110 @@
+// Package classifier provides from-scratch classification models used as
+// the analyzed black boxes in the experiments: a CART-style decision
+// tree, a random forest (the paper's default model for adult/bank/german/
+// heart), logistic regression, and a one-hidden-layer MLP (the model used
+// in the user study's bias-injection experiment). All models consume the
+// discrete value-coded rows of package dataset, are deterministic given a
+// seed, and expose only a Predict method — DivExplorer treats them as
+// black boxes.
+package classifier
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Classifier predicts a Boolean label for a value-coded row.
+type Classifier interface {
+	Predict(row []int32) bool
+}
+
+// PredictAll applies the classifier to every row of a dataset.
+func PredictAll(c Classifier, d *dataset.Dataset) []bool {
+	out := make([]bool, d.NumRows())
+	for i, row := range d.Rows {
+		out[i] = c.Predict(row)
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows where pred matches truth.
+func Accuracy(truth, pred []bool) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range truth {
+		if truth[i] == pred[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(truth))
+}
+
+// ConfusionRates returns the overall FPR and FNR of predictions against
+// ground truth. A rate with an empty denominator is reported as 0.
+func ConfusionRates(truth, pred []bool) (fpr, fnr float64) {
+	var fp, tn, fn, tp int
+	for i := range truth {
+		switch {
+		case pred[i] && truth[i]:
+			tp++
+		case pred[i] && !truth[i]:
+			fp++
+		case !pred[i] && truth[i]:
+			fn++
+		default:
+			tn++
+		}
+	}
+	if fp+tn > 0 {
+		fpr = float64(fp) / float64(fp+tn)
+	}
+	if fn+tp > 0 {
+		fnr = float64(fn) / float64(fn+tp)
+	}
+	return fpr, fnr
+}
+
+// checkTrainingInput validates the common training preconditions.
+func checkTrainingInput(d *dataset.Dataset, labels []bool) error {
+	if d.NumRows() == 0 {
+		return fmt.Errorf("classifier: empty training set")
+	}
+	if len(labels) != d.NumRows() {
+		return fmt.Errorf("classifier: %d labels for %d rows", len(labels), d.NumRows())
+	}
+	return nil
+}
+
+// oneHot encodes a value-coded row into a dense one-hot float vector laid
+// out attribute by attribute, given the per-attribute offsets.
+type oneHotEncoder struct {
+	offsets []int
+	size    int
+}
+
+func newOneHotEncoder(d *dataset.Dataset) *oneHotEncoder {
+	e := &oneHotEncoder{offsets: make([]int, d.NumAttrs())}
+	n := 0
+	for i := range d.Attrs {
+		e.offsets[i] = n
+		n += d.Attrs[i].Cardinality()
+	}
+	e.size = n
+	return e
+}
+
+// encodeInto writes the one-hot encoding of row into dst (which must be
+// zeroed and of length e.size) and returns dst.
+func (e *oneHotEncoder) encodeInto(dst []float64, row []int32) []float64 {
+	for a, v := range row {
+		dst[e.offsets[a]+int(v)] = 1
+	}
+	return dst
+}
+
+func (e *oneHotEncoder) encode(row []int32) []float64 {
+	return e.encodeInto(make([]float64, e.size), row)
+}

@@ -1,0 +1,238 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// xorDataset builds a dataset whose label is the XOR of two binary
+// attributes plus noise attributes — learnable by trees/forests/MLPs but
+// not by a linear model.
+func xorDataset(t testing.TB, n int, seed int64) (*dataset.Dataset, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("a", "b", "noise1", "noise2")
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		av, bv := rng.Intn(2), rng.Intn(2)
+		rec := []string{
+			fmt.Sprint(av), fmt.Sprint(bv),
+			fmt.Sprint(rng.Intn(3)), fmt.Sprint(rng.Intn(3)),
+		}
+		if err := b.Add(rec...); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = av != bv
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, labels
+}
+
+// linearDataset: label depends monotonically on a single attribute.
+func linearDataset(t testing.TB, n int, seed int64) (*dataset.Dataset, []bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("x", "junk")
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x := rng.Intn(4)
+		if err := b.Add(fmt.Sprint(x), fmt.Sprint(rng.Intn(2))); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = x >= 2
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, labels
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	d, labels := xorDataset(t, 400, 1)
+	tree, err := TrainTree(d, labels, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(tree, d)); acc < 0.99 {
+		t.Errorf("tree XOR accuracy = %v, want ~1", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("tree depth = %d, want >= 2 for XOR", tree.Depth())
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	d, labels := xorDataset(t, 400, 2)
+	tree, err := TrainTree(d, labels, TreeConfig{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Errorf("depth = %d exceeds MaxDepth 1", tree.Depth())
+	}
+}
+
+func TestTreeInputValidation(t *testing.T) {
+	d, labels := xorDataset(t, 10, 3)
+	if _, err := TrainTree(d, labels[:5], TreeConfig{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	empty := &dataset.Dataset{Attrs: d.Attrs}
+	if _, err := TrainTree(empty, nil, TreeConfig{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := TrainTree(d, labels, TreeConfig{MaxFeatures: 2}); err == nil {
+		t.Error("MaxFeatures without Rand accepted")
+	}
+}
+
+func TestTreePredictUnseenValue(t *testing.T) {
+	// Train on rows where attribute takes codes {0,1}; predict with a row
+	// whose bucket was empty: must fall back to the node majority, not
+	// panic. Build domain of 3 values but only use two in training paths.
+	b := dataset.NewBuilder("x")
+	for _, v := range []string{"0", "0", "0", "1", "1", "2"} {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []bool{true, true, true, false, false, false}
+	// Train only on the first five rows (value 2 never seen).
+	sub := d.Subset([]int{0, 1, 2, 3, 4})
+	tree, err := TrainTree(sub, labels[:5], TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tree.Predict(d.Rows[5]) // must not panic
+}
+
+func TestForestLearnsXORAndBeatsStump(t *testing.T) {
+	d, labels := xorDataset(t, 500, 4)
+	f, err := TrainForest(d, labels, ForestConfig{NumTrees: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(f, d)); acc < 0.95 {
+		t.Errorf("forest XOR accuracy = %v, want >= 0.95", acc)
+	}
+	if f.NumTrees() != 30 {
+		t.Errorf("NumTrees = %d", f.NumTrees())
+	}
+	p := f.PredictProba(d.Rows[0])
+	if p < 0 || p > 1 {
+		t.Errorf("PredictProba = %v out of [0,1]", p)
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	d, labels := xorDataset(t, 200, 5)
+	f1, err := TrainForest(d, labels, ForestConfig{NumTrees: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := TrainForest(d, labels, ForestConfig{NumTrees: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.Rows {
+		if f1.Predict(row) != f2.Predict(row) {
+			t.Fatalf("row %d: same-seed forests disagree", i)
+		}
+	}
+}
+
+func TestLogisticLearnsLinear(t *testing.T) {
+	d, labels := linearDataset(t, 400, 6)
+	m, err := TrainLogistic(d, labels, LogisticConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(m, d)); acc < 0.98 {
+		t.Errorf("logistic accuracy = %v, want >= 0.98", acc)
+	}
+	p := m.PredictProba(d.Rows[0])
+	if p < 0 || p > 1 {
+		t.Errorf("proba = %v", p)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	d, labels := xorDataset(t, 500, 8)
+	m, err := TrainMLP(d, labels, MLPConfig{Hidden: 8, Epochs: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(m, d)); acc < 0.95 {
+		t.Errorf("MLP XOR accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	d, labels := xorDataset(t, 20, 9)
+	if _, err := TrainMLP(d, labels[:3], MLPConfig{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestAccuracyAndConfusionRates(t *testing.T) {
+	truth := []bool{true, true, false, false}
+	pred := []bool{true, false, true, false}
+	if got := Accuracy(truth, pred); got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	fpr, fnr := ConfusionRates(truth, pred)
+	if fpr != 0.5 || fnr != 0.5 {
+		t.Errorf("rates = %v, %v, want 0.5, 0.5", fpr, fnr)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("Accuracy(empty) = %v", got)
+	}
+	fpr, fnr = ConfusionRates([]bool{true}, []bool{true})
+	if fpr != 0 {
+		t.Errorf("FPR with empty denominator = %v, want 0", fpr)
+	}
+}
+
+func TestOneHotEncoder(t *testing.T) {
+	d, _ := xorDataset(t, 10, 10)
+	e := newOneHotEncoder(d)
+	if e.size != 2+2+3+3 {
+		t.Fatalf("size = %d, want 10", e.size)
+	}
+	v := e.encode(d.Rows[0])
+	ones := 0
+	for _, x := range v {
+		if x == 1 {
+			ones++
+		} else if x != 0 {
+			t.Fatalf("non-binary encoding value %v", x)
+		}
+	}
+	if ones != d.NumAttrs() {
+		t.Errorf("%d active features, want %d", ones, d.NumAttrs())
+	}
+}
+
+// Logistic regression cannot solve XOR (sanity check that the models are
+// genuinely different in capacity).
+func TestLogisticCannotSolveXOR(t *testing.T) {
+	d, labels := xorDataset(t, 600, 11)
+	m, err := TrainLogistic(d, labels, LogisticConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(m, d)); acc > 0.7 {
+		t.Errorf("logistic XOR accuracy = %v; expected near-chance (< 0.7)", acc)
+	}
+}

@@ -1,0 +1,53 @@
+package classifier
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Trainer abstracts model training for cross-validation.
+type Trainer func(d *dataset.Dataset, labels []bool) (Classifier, error)
+
+// CrossValPredictions produces out-of-fold predictions for every row: the
+// data is split into k folds, a model is trained on each k−1-fold
+// complement and predicts its held-out fold. The result is a
+// full-coverage prediction vector in which no instance was scored by a
+// model that saw it — the methodologically sound input for auditing a
+// *training procedure* with DivExplorer (auditing a fixed model's
+// training-set predictions conflates memorization with behavior).
+func CrossValPredictions(d *dataset.Dataset, labels []bool, k int, seed int64, train Trainer) ([]bool, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if k < 2 || k > d.NumRows() {
+		return nil, fmt.Errorf("classifier: fold count %d out of [2, %d]", k, d.NumRows())
+	}
+	if train == nil {
+		return nil, fmt.Errorf("classifier: nil trainer")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.NumRows())
+	pred := make([]bool, d.NumRows())
+	for fold := 0; fold < k; fold++ {
+		var trainIdx, testIdx []int
+		for pos, r := range perm {
+			if pos%k == fold {
+				testIdx = append(testIdx, r)
+			} else {
+				trainIdx = append(trainIdx, r)
+			}
+		}
+		trainData := d.Subset(trainIdx)
+		trainLabels := dataset.SelectLabels(labels, trainIdx)
+		model, err := train(trainData, trainLabels)
+		if err != nil {
+			return nil, fmt.Errorf("classifier: fold %d: %w", fold, err)
+		}
+		for _, r := range testIdx {
+			pred[r] = model.Predict(d.Rows[r])
+		}
+	}
+	return pred, nil
+}

@@ -1,0 +1,84 @@
+package classifier
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestCrossValPredictionsLearnableSignal(t *testing.T) {
+	d, labels := linearDataset(t, 600, 31)
+	pred, err := CrossValPredictions(d, labels, 5, 1, func(td *dataset.Dataset, tl []bool) (Classifier, error) {
+		return TrainTree(td, tl, TreeConfig{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, pred); acc < 0.95 {
+		t.Errorf("out-of-fold accuracy = %v, want >= 0.95 on a learnable signal", acc)
+	}
+}
+
+// Every row is predicted exactly once, by a model that never saw it:
+// with a memorizing trainer and pure-noise labels, out-of-fold accuracy
+// must sit near chance (a leaky split would score near 1).
+func TestCrossValPredictionsNoLeakage(t *testing.T) {
+	d, _ := linearDataset(t, 400, 32)
+	// Noise labels uncorrelated with features.
+	labels := make([]bool, d.NumRows())
+	for i := range labels {
+		labels[i] = (i*2654435761)%7 < 3
+	}
+	pred, err := CrossValPredictions(d, labels, 4, 2, func(td *dataset.Dataset, tl []bool) (Classifier, error) {
+		return TrainTree(td, tl, TreeConfig{}) // memorizes what it can
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, pred); acc > 0.75 {
+		t.Errorf("out-of-fold accuracy %v on noise labels suggests leakage", acc)
+	}
+}
+
+func TestCrossValPredictionsValidation(t *testing.T) {
+	d, labels := linearDataset(t, 20, 33)
+	trainer := func(td *dataset.Dataset, tl []bool) (Classifier, error) {
+		return TrainTree(td, tl, TreeConfig{})
+	}
+	if _, err := CrossValPredictions(d, labels, 1, 1, trainer); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValPredictions(d, labels, 21, 1, trainer); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := CrossValPredictions(d, labels, 5, 1, nil); err == nil {
+		t.Error("nil trainer accepted")
+	}
+	sentinel := errors.New("boom")
+	if _, err := CrossValPredictions(d, labels, 5, 1, func(*dataset.Dataset, []bool) (Classifier, error) {
+		return nil, sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("trainer error not propagated: %v", err)
+	}
+}
+
+func TestCrossValPredictionsDeterministic(t *testing.T) {
+	d, labels := linearDataset(t, 200, 34)
+	trainer := func(td *dataset.Dataset, tl []bool) (Classifier, error) {
+		return TrainTree(td, tl, TreeConfig{})
+	}
+	a, err := CrossValPredictions(d, labels, 5, 9, trainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValPredictions(d, labels, 5, 9, trainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed cross-validation differs")
+		}
+	}
+}

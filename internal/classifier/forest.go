@@ -1,0 +1,87 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// ForestConfig controls random-forest training. Zero values select
+// defaults comparable to the scikit-learn defaults the paper used:
+// 100 trees, sqrt(#attributes) features per split, unbounded depth.
+type ForestConfig struct {
+	NumTrees    int
+	MaxDepth    int
+	MaxFeatures int // 0: sqrt of the attribute count
+	Seed        int64
+}
+
+// Forest is a bagged ensemble of decision trees with per-node feature
+// sub-sampling, deciding by majority vote.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest trains a random forest on Boolean labels.
+func TrainForest(d *dataset.Dataset, labels []bool, cfg ForestConfig) (*Forest, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 100
+	}
+	if cfg.MaxFeatures <= 0 {
+		cfg.MaxFeatures = int(math.Max(1, math.Round(math.Sqrt(float64(d.NumAttrs())))))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{trees: make([]*Tree, cfg.NumTrees)}
+	n := d.NumRows()
+	for ti := 0; ti < cfg.NumTrees; ti++ {
+		// Bootstrap sample.
+		sample := &dataset.Dataset{Attrs: d.Attrs, Rows: make([][]int32, n)}
+		sampleLabels := make([]bool, n)
+		for i := 0; i < n; i++ {
+			r := rng.Intn(n)
+			sample.Rows[i] = d.Rows[r]
+			sampleLabels[i] = labels[r]
+		}
+		tree, err := TrainTree(sample, sampleLabels, TreeConfig{
+			MaxDepth:    cfg.MaxDepth,
+			MaxFeatures: cfg.MaxFeatures,
+			Rand:        rand.New(rand.NewSource(rng.Int63())),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("classifier: tree %d: %w", ti, err)
+		}
+		f.trees[ti] = tree
+	}
+	return f, nil
+}
+
+// Predict implements Classifier by majority vote.
+func (f *Forest) Predict(row []int32) bool {
+	votes := 0
+	for _, t := range f.trees {
+		if t.Predict(row) {
+			votes++
+		}
+	}
+	return 2*votes >= len(f.trees)
+}
+
+// PredictProba returns the fraction of trees voting positive — a crude
+// probability estimate used by the Slice Finder baseline's loss.
+func (f *Forest) PredictProba(row []int32) float64 {
+	votes := 0
+	for _, t := range f.trees {
+		if t.Predict(row) {
+			votes++
+		}
+	}
+	return float64(votes) / float64(len(f.trees))
+}
+
+// NumTrees reports the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,92 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// LogisticConfig controls logistic-regression training over one-hot
+// encoded categorical features.
+type LogisticConfig struct {
+	Epochs       int     // default 50
+	LearningRate float64 // default 0.1
+	L2           float64 // ridge penalty, default 1e-4
+	Seed         int64
+}
+
+// Logistic is an L2-regularized logistic regression classifier.
+type Logistic struct {
+	enc     *oneHotEncoder
+	weights []float64
+	bias    float64
+	buf     []float64
+}
+
+// TrainLogistic fits logistic regression with SGD.
+func TrainLogistic(d *dataset.Dataset, labels []bool, cfg LogisticConfig) (*Logistic, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.L2 <= 0 {
+		cfg.L2 = 1e-4
+	}
+	enc := newOneHotEncoder(d)
+	m := &Logistic{
+		enc:     enc,
+		weights: make([]float64, enc.size),
+		buf:     make([]float64, enc.size),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(d.NumRows())
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for _, r := range order {
+			row := d.Rows[r]
+			p := m.proba(row)
+			y := 0.0
+			if labels[r] {
+				y = 1
+			}
+			g := p - y
+			// One-hot gradient: only the active features move.
+			for a, v := range row {
+				j := enc.offsets[a] + int(v)
+				m.weights[j] -= lr * (g + cfg.L2*m.weights[j])
+			}
+			m.bias -= lr * g
+		}
+	}
+	return m, nil
+}
+
+func (m *Logistic) proba(row []int32) float64 {
+	z := m.bias
+	for a, v := range row {
+		z += m.weights[m.enc.offsets[a]+int(v)]
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (m *Logistic) Predict(row []int32) bool { return m.proba(row) >= 0.5 }
+
+// PredictProba returns the estimated probability of the positive class.
+func (m *Logistic) PredictProba(row []int32) float64 { return m.proba(row) }
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

@@ -1,0 +1,118 @@
+package classifier
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// MLPConfig controls the multi-layer perceptron used in the user-study
+// bias-injection experiment (Sec. 6.6).
+type MLPConfig struct {
+	Hidden       int     // hidden units, default 16
+	Epochs       int     // default 60
+	LearningRate float64 // default 0.05
+	Seed         int64
+}
+
+// MLP is a one-hidden-layer perceptron with tanh activations and a
+// sigmoid output, trained by plain backpropagation over one-hot features.
+type MLP struct {
+	enc *oneHotEncoder
+	// w1[h*size+j]: input j -> hidden h; b1[h]; w2[h]: hidden h -> output.
+	w1, b1, w2 []float64
+	b2         float64
+	hidden     int
+}
+
+// TrainMLP fits the perceptron with stochastic gradient descent.
+func TrainMLP(d *dataset.Dataset, labels []bool, cfg MLPConfig) (*MLP, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 16
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 60
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	enc := newOneHotEncoder(d)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &MLP{
+		enc:    enc,
+		w1:     make([]float64, cfg.Hidden*enc.size),
+		b1:     make([]float64, cfg.Hidden),
+		w2:     make([]float64, cfg.Hidden),
+		hidden: cfg.Hidden,
+	}
+	scale := 1 / math.Sqrt(float64(enc.size))
+	for i := range m.w1 {
+		m.w1[i] = rng.NormFloat64() * scale
+	}
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() / math.Sqrt(float64(cfg.Hidden))
+	}
+
+	order := rng.Perm(d.NumRows())
+	hid := make([]float64, cfg.Hidden)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.02*float64(epoch))
+		for _, r := range order {
+			row := d.Rows[r]
+			p := m.forward(row, hid)
+			y := 0.0
+			if labels[r] {
+				y = 1
+			}
+			gOut := p - y // dLoss/dz2 for logistic loss
+			// Output layer.
+			for h := 0; h < m.hidden; h++ {
+				gHid := gOut * m.w2[h] * (1 - hid[h]*hid[h]) // tanh'
+				m.w2[h] -= lr * gOut * hid[h]
+				// Hidden layer: only active one-hot inputs have gradient.
+				for a, v := range row {
+					j := m.enc.offsets[a] + int(v)
+					m.w1[h*m.enc.size+j] -= lr * gHid
+				}
+				m.b1[h] -= lr * gHid
+			}
+			m.b2 -= lr * gOut
+		}
+	}
+	return m, nil
+}
+
+// forward computes the output probability, storing hidden activations in
+// hid (length m.hidden).
+func (m *MLP) forward(row []int32, hid []float64) float64 {
+	for h := 0; h < m.hidden; h++ {
+		z := m.b1[h]
+		base := h * m.enc.size
+		for a, v := range row {
+			z += m.w1[base+m.enc.offsets[a]+int(v)]
+		}
+		hid[h] = math.Tanh(z)
+	}
+	z := m.b2
+	for h := 0; h < m.hidden; h++ {
+		z += m.w2[h] * hid[h]
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(row []int32) bool {
+	hid := make([]float64, m.hidden)
+	return m.forward(row, hid) >= 0.5
+}
+
+// PredictProba returns the estimated probability of the positive class.
+func (m *MLP) PredictProba(row []int32) float64 {
+	hid := make([]float64, m.hidden)
+	return m.forward(row, hid)
+}

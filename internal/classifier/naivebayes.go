@@ -1,0 +1,89 @@
+package classifier
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// NaiveBayes is a categorical naive Bayes classifier with Laplace
+// smoothing — the cheapest reasonable black box to audit, and a useful
+// contrast to the tree ensemble in the examples: its independence
+// assumption produces characteristic error pockets on correlated
+// subgroups, exactly the kind of structure DivExplorer surfaces.
+type NaiveBayes struct {
+	logPrior [2]float64
+	// logCond[c][attr][value] = log P(value | class c), Laplace smoothed.
+	logCond [2][][]float64
+}
+
+// NaiveBayesConfig controls training.
+type NaiveBayesConfig struct {
+	// Alpha is the Laplace smoothing pseudo-count (default 1).
+	Alpha float64
+}
+
+// TrainNaiveBayes fits the classifier.
+func TrainNaiveBayes(d *dataset.Dataset, labels []bool, cfg NaiveBayesConfig) (*NaiveBayes, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1
+	}
+	var classCount [2]float64
+	counts := [2][][]float64{}
+	for c := 0; c < 2; c++ {
+		counts[c] = make([][]float64, d.NumAttrs())
+		for a := range counts[c] {
+			counts[c][a] = make([]float64, d.Attrs[a].Cardinality())
+		}
+	}
+	for r, row := range d.Rows {
+		c := 0
+		if labels[r] {
+			c = 1
+		}
+		classCount[c]++
+		for a, v := range row {
+			counts[c][a][v]++
+		}
+	}
+	nb := &NaiveBayes{}
+	total := classCount[0] + classCount[1]
+	for c := 0; c < 2; c++ {
+		nb.logPrior[c] = math.Log((classCount[c] + cfg.Alpha) / (total + 2*cfg.Alpha))
+		nb.logCond[c] = make([][]float64, d.NumAttrs())
+		for a := range counts[c] {
+			card := float64(len(counts[c][a]))
+			nb.logCond[c][a] = make([]float64, len(counts[c][a]))
+			for v := range counts[c][a] {
+				nb.logCond[c][a][v] = math.Log(
+					(counts[c][a][v] + cfg.Alpha) / (classCount[c] + cfg.Alpha*card))
+			}
+		}
+	}
+	return nb, nil
+}
+
+func (nb *NaiveBayes) logPosterior(row []int32, c int) float64 {
+	s := nb.logPrior[c]
+	for a, v := range row {
+		s += nb.logCond[c][a][v]
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(row []int32) bool {
+	return nb.logPosterior(row, 1) >= nb.logPosterior(row, 0)
+}
+
+// PredictProba returns the posterior probability of the positive class.
+func (nb *NaiveBayes) PredictProba(row []int32) float64 {
+	l0, l1 := nb.logPosterior(row, 0), nb.logPosterior(row, 1)
+	// Normalize in log space for stability.
+	m := math.Max(l0, l1)
+	e0, e1 := math.Exp(l0-m), math.Exp(l1-m)
+	return e1 / (e0 + e1)
+}

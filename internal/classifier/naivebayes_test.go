@@ -1,0 +1,69 @@
+package classifier
+
+import (
+	"testing"
+)
+
+func TestNaiveBayesLearnsLinear(t *testing.T) {
+	d, labels := linearDataset(t, 500, 21)
+	nb, err := TrainNaiveBayes(d, labels, NaiveBayesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(nb, d)); acc < 0.98 {
+		t.Errorf("naive Bayes accuracy = %v, want >= 0.98", acc)
+	}
+}
+
+func TestNaiveBayesProbabilities(t *testing.T) {
+	d, labels := linearDataset(t, 500, 22)
+	nb, err := TrainNaiveBayes(d, labels, NaiveBayesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.Rows[:50] {
+		p := nb.PredictProba(row)
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		if (p >= 0.5) != nb.Predict(row) {
+			t.Fatal("Predict inconsistent with PredictProba")
+		}
+	}
+}
+
+func TestNaiveBayesCannotSolveXOR(t *testing.T) {
+	// XOR violates conditional independence; naive Bayes must fail,
+	// confirming it's a genuinely different model class.
+	d, labels := xorDataset(t, 600, 23)
+	nb, err := TrainNaiveBayes(d, labels, NaiveBayesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(labels, PredictAll(nb, d)); acc > 0.7 {
+		t.Errorf("naive Bayes XOR accuracy = %v, want near chance", acc)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	d, labels := linearDataset(t, 10, 24)
+	if _, err := TrainNaiveBayes(d, labels[:3], NaiveBayesConfig{}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestNaiveBayesSmoothingHandlesUnseen(t *testing.T) {
+	// Train where one (class, value) pair never occurs; prediction on it
+	// must not produce -Inf log-probabilities (Laplace smoothing).
+	d, labels := linearDataset(t, 200, 25)
+	nb, err := TrainNaiveBayes(d, labels, NaiveBayesConfig{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.Rows {
+		p := nb.PredictProba(row)
+		if p != p || p < 0 || p > 1 { // NaN or out of range
+			t.Fatalf("unstable probability %v", p)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// TreeConfig controls decision-tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesSplit is the minimum node size to attempt a split
+	// (default 2).
+	MinSamplesSplit int
+	// MaxFeatures, when positive, samples that many candidate attributes
+	// per node (random-forest style). 0 considers all attributes.
+	MaxFeatures int
+	// Rand supplies the attribute-sampling randomness; only needed when
+	// MaxFeatures > 0.
+	Rand *rand.Rand
+}
+
+// treeNode is either a leaf (children nil) or a multiway split on one
+// attribute, with one child per attribute value.
+type treeNode struct {
+	attr     int
+	children []*treeNode
+	leafPred bool
+}
+
+// Tree is a CART-style decision tree over categorical attributes, using
+// Gini impurity and multiway splits on attribute values.
+type Tree struct {
+	root  *treeNode
+	attrs int
+}
+
+// TrainTree grows a decision tree on the dataset with Boolean labels.
+func TrainTree(d *dataset.Dataset, labels []bool, cfg TreeConfig) (*Tree, error) {
+	if err := checkTrainingInput(d, labels); err != nil {
+		return nil, err
+	}
+	if cfg.MinSamplesSplit < 2 {
+		cfg.MinSamplesSplit = 2
+	}
+	if cfg.MaxFeatures > 0 && cfg.Rand == nil {
+		return nil, fmt.Errorf("classifier: MaxFeatures set without Rand")
+	}
+	idx := make([]int, d.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	used := make([]bool, d.NumAttrs())
+	t := &Tree{attrs: d.NumAttrs()}
+	t.root = growTree(d, labels, idx, used, 0, cfg)
+	return t, nil
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(row []int32) bool {
+	n := t.root
+	for n.children != nil {
+		child := n.children[row[n.attr]]
+		if child == nil {
+			// Value unseen on this path during training: fall back to the
+			// node's majority.
+			return n.leafPred
+		}
+		n = child
+	}
+	return n.leafPred
+}
+
+func growTree(d *dataset.Dataset, labels []bool, idx []int, used []bool, depth int, cfg TreeConfig) *treeNode {
+	pos := 0
+	for _, r := range idx {
+		if labels[r] {
+			pos++
+		}
+	}
+	node := &treeNode{leafPred: 2*pos >= len(idx)}
+	if pos == 0 || pos == len(idx) ||
+		len(idx) < cfg.MinSamplesSplit ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return node
+	}
+
+	candidates := candidateAttrs(d, used, cfg)
+	bestAttr, bestGini := -1, math.Inf(1)
+	for _, a := range candidates {
+		g := splitGini(d, labels, idx, a)
+		if g < bestGini-1e-12 {
+			bestGini, bestAttr = g, a
+		}
+	}
+	if bestAttr < 0 || bestGini >= nodeGini(pos, len(idx))-1e-12 {
+		return node // no improving split
+	}
+
+	card := d.Attrs[bestAttr].Cardinality()
+	buckets := make([][]int, card)
+	for _, r := range idx {
+		v := d.Rows[r][bestAttr]
+		buckets[v] = append(buckets[v], r)
+	}
+	node.attr = bestAttr
+	node.children = make([]*treeNode, card)
+	used[bestAttr] = true
+	for v, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue // unseen value: Predict falls back to node majority
+		}
+		node.children[v] = growTree(d, labels, bucket, used, depth+1, cfg)
+	}
+	used[bestAttr] = false
+	return node
+}
+
+// candidateAttrs lists the attributes eligible for splitting at a node,
+// optionally sub-sampled (random forest).
+func candidateAttrs(d *dataset.Dataset, used []bool, cfg TreeConfig) []int {
+	var avail []int
+	for a := 0; a < d.NumAttrs(); a++ {
+		if !used[a] && d.Attrs[a].Cardinality() > 1 {
+			avail = append(avail, a)
+		}
+	}
+	if cfg.MaxFeatures <= 0 || cfg.MaxFeatures >= len(avail) {
+		return avail
+	}
+	cfg.Rand.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+	return avail[:cfg.MaxFeatures]
+}
+
+func nodeGini(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// splitGini returns the size-weighted Gini impurity after a multiway
+// split on attribute a.
+func splitGini(d *dataset.Dataset, labels []bool, idx []int, a int) float64 {
+	card := d.Attrs[a].Cardinality()
+	count := make([]int, card)
+	posCount := make([]int, card)
+	for _, r := range idx {
+		v := d.Rows[r][a]
+		count[v]++
+		if labels[r] {
+			posCount[v]++
+		}
+	}
+	var g float64
+	for v := 0; v < card; v++ {
+		if count[v] == 0 {
+			continue
+		}
+		g += float64(count[v]) / float64(len(idx)) * nodeGini(posCount[v], count[v])
+	}
+	return g
+}
+
+// Depth returns the depth of the trained tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.children == nil {
+		return 0
+	}
+	best := 0
+	for _, c := range n.children {
+		if d := depthOf(c); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// driftPair builds two explorations over the same schema where group g=1
+// deteriorates in the second dataset while everything else is stable.
+func driftPair(t testing.TB) (*Result, *Result) {
+	t.Helper()
+	build := func(g1FP int) *Result {
+		var rows []rowSpec
+		add := func(g string, nFP, nTN int) {
+			for i := 0; i < nFP; i++ {
+				rows = append(rows, rowSpec{[]string{g, "x"}, false, true})
+			}
+			for i := 0; i < nTN; i++ {
+				rows = append(rows, rowSpec{[]string{g, "x"}, false, false})
+			}
+			// A few rows with the other value of h so both schemas have
+			// identical item spaces.
+			rows = append(rows, rowSpec{[]string{g, "y"}, false, false})
+		}
+		add("1", g1FP, 20-g1FP)
+		add("0", 4, 16)
+		db := buildClassifierDB(t, []string{"g", "h"}, rows)
+		return explore(t, db, 0.01)
+	}
+	return build(4), build(16) // g=1 FPR: 0.2 -> 0.8
+}
+
+func TestCompareDetectsDrift(t *testing.T) {
+	a, b := driftPair(t)
+	shifts, err := Compare(a, b, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) == 0 {
+		t.Fatal("no comparable patterns")
+	}
+	// The top net shift involves g=1.
+	top := shifts[0]
+	label := a.DB.Catalog.Format(top.Items)
+	if want := "g=1"; !contains(label, want) {
+		t.Errorf("top drifting pattern %q does not involve %s", label, want)
+	}
+	if top.Shift <= 0.3 {
+		t.Errorf("top shift = %v, want > 0.3", top.Shift)
+	}
+	if top.T < 2 {
+		t.Errorf("top shift t = %v, want significant", top.T)
+	}
+	// Sorted by |NetShift| descending.
+	for i := 1; i < len(shifts); i++ {
+		if math.Abs(shifts[i].NetShift) > math.Abs(shifts[i-1].NetShift)+1e-12 {
+			t.Errorf("shifts not sorted at %d", i)
+		}
+	}
+	// Stable patterns have small net shift: g=0 moved little beyond the
+	// global movement.
+	for _, s := range shifts {
+		if a.DB.Catalog.Format(s.Items) == "g=0" && math.Abs(s.Shift) > 0.1 {
+			t.Errorf("stable subgroup g=0 shifted by %v", s.Shift)
+		}
+	}
+}
+
+func TestCompareIdenticalResultsNoShift(t *testing.T) {
+	a, _ := driftPair(t)
+	shifts, err := Compare(a, a, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shifts {
+		if s.Shift != 0 || s.NetShift != 0 || s.T != 0 {
+			t.Fatalf("self-comparison produced shift %+v", s)
+		}
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	a, _ := driftPair(t)
+	other := correctiveFixture(t) // schema (g, p) with different domains
+	if _, err := Compare(a, other, FPR); err == nil {
+		t.Error("different schemas accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

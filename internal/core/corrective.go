@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fpm"
+	"repro/internal/stats"
+)
+
+// Corrective records that adding Item to Base reduces the absolute
+// divergence (Def. 4.2): |Δ(Base ∪ Item)| < |Δ(Base)|.
+type Corrective struct {
+	Base     fpm.Itemset // the itemset I being corrected
+	Item     fpm.Item    // the corrective item α
+	BaseDiv  float64     // Δ(I)
+	ExtDiv   float64     // Δ(I ∪ α)
+	Factor   float64     // corrective factor |Δ(I)| − |Δ(I∪α)|
+	T        float64     // Welch t between the rates of I and I∪α
+	Support  float64     // support of I ∪ α
+	BaseSupp float64     // support of I
+}
+
+// CorrectiveItems scans every frequent itemset extension and returns all
+// corrective (base, item) pairs, sorted by decreasing corrective factor.
+// This is exactly the analysis behind Table 3; it is possible only
+// because the exploration is exhaustive (Sec. 4.2).
+//
+// Pairs where the metric is undefined on either itemset are skipped, as
+// are trivial bases (the empty itemset, whose divergence is 0 and can
+// never shrink in absolute value).
+func (r *Result) CorrectiveItems(m Metric) []Corrective {
+	var out []Corrective
+	for _, p := range r.Patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		extRate := r.Rate(p.Tally, m)
+		if math.IsNaN(extRate) {
+			continue
+		}
+		extDiv := r.DivergenceOfTally(p.Tally, m)
+		for _, alpha := range p.Items {
+			base := p.Items.Without(alpha)
+			bp, ok := r.Lookup(base)
+			if !ok {
+				continue
+			}
+			baseRate := r.Rate(bp.Tally, m)
+			if math.IsNaN(baseRate) {
+				continue
+			}
+			baseDiv := r.DivergenceOfTally(bp.Tally, m)
+			if math.Abs(extDiv) >= math.Abs(baseDiv) {
+				continue
+			}
+			out = append(out, Corrective{
+				Base:     base,
+				Item:     alpha,
+				BaseDiv:  baseDiv,
+				ExtDiv:   extDiv,
+				Factor:   math.Abs(baseDiv) - math.Abs(extDiv),
+				T:        stats.WelchTPosterior(r.PosteriorRate(bp.Tally, m), r.PosteriorRate(p.Tally, m)),
+				Support:  r.Support(p.Tally),
+				BaseSupp: r.Support(bp.Tally),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Factor != out[j].Factor {
+			return out[i].Factor > out[j].Factor
+		}
+		if !out[i].Base.Equal(out[j].Base) {
+			return lessItemsets(out[i].Base, out[j].Base)
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// TopCorrective returns the k strongest corrective pairs, optionally
+// requiring a minimum Welch t between the base and extended rates so the
+// reported corrections are statistically meaningful (the paper's Table 3
+// reports t alongside each correction).
+func (r *Result) TopCorrective(m Metric, k int, minT float64) []Corrective {
+	all := r.CorrectiveItems(m)
+	out := make([]Corrective, 0, k)
+	for _, c := range all {
+		if c.T < minT {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

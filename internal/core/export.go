@@ -1,0 +1,42 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the full ranked exploration for one metric as CSV:
+// itemset, length, support, rate, divergence, t-statistic, p-value, and
+// the metric's (k⁺, k⁻) observation counts. The output feeds downstream
+// tooling (spreadsheets, notebooks, dashboards) without re-running the
+// exploration.
+func (r *Result) WriteCSV(w io.Writer, m Metric, order RankOrder) error {
+	cw := csv.NewWriter(w)
+	header := []string{"itemset", "length", "support", "rate", "divergence", "t", "p_value", "k_pos", "k_neg"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: writing CSV header: %w", err)
+	}
+	for _, rk := range r.RankAll(m, order) {
+		kp, kn := m.Counts(rk.Tally)
+		rec := []string{
+			r.DB.Catalog.Format(rk.Items),
+			strconv.Itoa(len(rk.Items)),
+			formatF(rk.Support),
+			formatF(rk.Rate),
+			formatF(rk.Divergence),
+			formatF(rk.T),
+			formatF(r.PValue(rk.Tally, m)),
+			strconv.FormatInt(kp, 10),
+			strconv.FormatInt(kn, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("core: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(x float64) string { return strconv.FormatFloat(x, 'g', 8, 64) }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := correctiveFixture(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, FPR, ByDivergence); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + one row per defined pattern.
+	ranked := r.RankAll(FPR, ByDivergence)
+	if len(records) != len(ranked)+1 {
+		t.Fatalf("CSV rows = %d, want %d", len(records), len(ranked)+1)
+	}
+	if records[0][0] != "itemset" || records[0][6] != "p_value" {
+		t.Errorf("header = %v", records[0])
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != 9 {
+			t.Fatalf("row %d has %d fields", i, len(rec))
+		}
+		// Numeric fields parse.
+		for _, col := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+			if _, err := strconv.ParseFloat(rec[col], 64); err != nil {
+				t.Fatalf("row %d col %d = %q not numeric", i, col, rec[col])
+			}
+		}
+		// Divergence column matches the ranked value.
+		div, _ := strconv.ParseFloat(rec[4], 64)
+		if !almost(div, ranked[i].Divergence, 1e-6) {
+			t.Errorf("row %d divergence %v vs %v", i, div, ranked[i].Divergence)
+		}
+		// Itemset rendering is the canonical one.
+		if !strings.Contains(rec[0], "=") {
+			t.Errorf("row %d itemset %q malformed", i, rec[0])
+		}
+	}
+}

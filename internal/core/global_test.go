@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fpm"
+)
+
+// Efficiency axiom (Theorem 4.1, Eq. 7): with the support threshold low
+// enough that every non-empty-support itemset is frequent and every
+// complete attribute combination occurs, the global divergences of all
+// items sum to the average divergence over the complete itemsets I_A.
+func TestGlobalDivergenceEfficiency(t *testing.T) {
+	// 3 attrs × 2 values, all 8 combos present: I_A fully supported.
+	db := randomClassifierDB(t, 17, 3, 2, 80)
+	r := explore(t, db, 0) // minCount = 1
+	// Use a ⊥-free metric so divergence is defined on every itemset.
+	m := TruePositiveShare
+
+	global := r.GlobalDivergence(m)
+	var lhs float64
+	for _, v := range global {
+		lhs += v
+	}
+
+	// Right-hand side: average Δ over all complete itemsets (2^3 of them,
+	// all frequent by construction).
+	cat := db.Catalog
+	var rhs float64
+	count := 0
+	for _, p := range r.Patterns {
+		if len(p.Items) != cat.NumAttrs() {
+			continue
+		}
+		rhs += r.DivergenceOfTally(p.Tally, m)
+		count++
+	}
+	if count != 8 {
+		t.Fatalf("expected 8 complete itemsets, found %d", count)
+	}
+	rhs /= float64(count)
+
+	if !almost(lhs, rhs, 1e-9) {
+		t.Errorf("efficiency axiom: Σ Δ^g = %v, mean Δ(I_A) = %v", lhs, rhs)
+	}
+}
+
+// Efficiency must hold for several random datasets and domain sizes.
+func TestGlobalDivergenceEfficiencyVariants(t *testing.T) {
+	shapes := []struct {
+		attrs, card int
+		seed        int64
+	}{
+		{2, 3, 5},
+		{3, 2, 6},
+		{2, 2, 7},
+		{3, 3, 8},
+	}
+	for _, s := range shapes {
+		db := randomClassifierDB(t, s.seed, s.attrs, s.card, 200)
+		r := explore(t, db, 0)
+		m := TruePositiveShare
+		var lhs float64
+		for _, v := range r.GlobalDivergence(m) {
+			lhs += v
+		}
+		var rhs float64
+		count := 0
+		for _, p := range r.Patterns {
+			if len(p.Items) == s.attrs {
+				rhs += r.DivergenceOfTally(p.Tally, m)
+				count++
+			}
+		}
+		want := 1
+		for i := 0; i < s.attrs; i++ {
+			want *= s.card
+		}
+		if count != want {
+			t.Fatalf("shape %v: %d complete itemsets, want %d", s, count, want)
+		}
+		rhs /= float64(count)
+		if !almost(lhs, rhs, 1e-9) {
+			t.Errorf("shape %v: Σ Δ^g = %v, mean Δ(I_A) = %v", s, lhs, rhs)
+		}
+	}
+}
+
+// Null-item axiom: an attribute whose items never change divergence gets
+// global divergence 0, and dropping it leaves other items' global
+// divergence unchanged.
+func TestGlobalDivergenceNullItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var base []rowSpec
+	for i := 0; i < 40; i++ {
+		g := rng.Intn(2)
+		truth := rng.Intn(2) == 0
+		pred := rng.Intn(2) == 0
+		if g == 1 && rng.Intn(2) == 0 {
+			pred = true // plant some dependence on g
+		}
+		base = append(base, rowSpec{[]string{itoa(g)}, truth, pred})
+	}
+	// Dataset WITH null attribute z: every base row duplicated over z=0,1.
+	var withZ []rowSpec
+	for _, r := range base {
+		for _, z := range []string{"0", "1"} {
+			withZ = append(withZ, rowSpec{[]string{r.values[0], z}, r.truth, r.pred})
+		}
+	}
+	dbZ := buildClassifierDB(t, []string{"g", "z"}, withZ)
+	rZ := explore(t, dbZ, 0)
+	m := TruePositiveShare
+	globalZ := rZ.GlobalDivergence(m)
+	for it, v := range globalZ {
+		name := dbZ.Catalog.Name(it)
+		if (name == "z=0" || name == "z=1") && !almost(v, 0, 1e-9) {
+			t.Errorf("null item %s has Δ^g = %v, want 0", name, v)
+		}
+	}
+	// Dataset WITHOUT z: same global divergence for g's items.
+	dbG := buildClassifierDB(t, []string{"g"}, base)
+	rG := explore(t, dbG, 0)
+	globalG := rG.GlobalDivergence(m)
+	for it, v := range globalG {
+		name := dbG.Catalog.Name(it)
+		itZ, err := dbZ.Catalog.ItemByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(v, globalZ[itZ], 1e-9) {
+			t.Errorf("removing null attribute changed Δ^g(%s): %v vs %v",
+				name, v, globalZ[itZ])
+		}
+	}
+}
+
+// Symmetry axiom: two items with identical effect on every context have
+// equal global divergence. Attributes x and y are exact copies, so
+// x=c and y=c behave identically.
+func TestGlobalDivergenceSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var rows []rowSpec
+	for i := 0; i < 60; i++ {
+		v := itoa(rng.Intn(2))
+		w := itoa(rng.Intn(3))
+		rows = append(rows, rowSpec{[]string{v, v, w}, rng.Intn(2) == 0, rng.Intn(2) == 0})
+	}
+	db := buildClassifierDB(t, []string{"x", "y", "w"}, rows)
+	r := explore(t, db, 0)
+	global := r.GlobalDivergence(TruePositiveShare)
+	for _, c := range []string{"0", "1"} {
+		ix, err := db.Catalog.ItemByName("x=" + c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iy, err := db.Catalog.ItemByName("y=" + c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(global[ix], global[iy], 1e-9) {
+			t.Errorf("symmetry: Δ^g(x=%s)=%v vs Δ^g(y=%s)=%v", c, global[ix], c, global[iy])
+		}
+	}
+}
+
+// Linearity axiom: Δ^g computed from γ1·Δ1 + γ2·Δ2 equals
+// γ1·Δ1^g + γ2·Δ2^g. Uses the function-level entry point with two
+// arbitrary divergence assignments.
+func TestGlobalDivergenceLinearity(t *testing.T) {
+	db := randomClassifierDB(t, 44, 3, 2, 60)
+	r := explore(t, db, 0)
+	d1 := func(tl fpm.Tally) float64 { return r.DivergenceOfTally(tl, TruePositiveShare) }
+	d2 := func(tl fpm.Tally) float64 { return r.DivergenceOfTally(tl, PredictedPositiveRate) }
+	g1, g2 := 0.7, -1.3
+	combined := r.globalFromDivergence(func(tl fpm.Tally) float64 {
+		return g1*d1(tl) + g2*d2(tl)
+	})
+	s1 := r.globalFromDivergence(d1)
+	s2 := r.globalFromDivergence(d2)
+	for it, v := range combined {
+		want := g1*s1[it] + g2*s2[it]
+		if !almost(v, want, 1e-9) {
+			t.Errorf("linearity at %s: %v vs %v", db.Catalog.Name(it), v, want)
+		}
+	}
+}
+
+// Theorem 4.2: individual and global divergence do not coincide. Build
+// the miniature version of the paper's artificial dataset: attributes a,b
+// cause divergence only jointly; individual divergences vanish while the
+// global ones do not.
+func TestTheorem42IndividualGlobalDiffer(t *testing.T) {
+	var rows []rowSpec
+	// Balanced a,b in {0,1}; FP iff a=b=1; per cell 10 rows.
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for i := 0; i < 10; i++ {
+				fp := a == 1 && b == 1 && i < 8
+				rows = append(rows, rowSpec{[]string{itoa(a), itoa(b)}, false, fp})
+			}
+		}
+	}
+	db := buildClassifierDB(t, []string{"a", "b"}, rows)
+	r := explore(t, db, 0.01)
+	ind := r.IndividualDivergence(FPR)
+	global := r.GlobalDivergence(FPR)
+	a1, err := db.Catalog.ItemByName("a=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1 individually has divergence (8/20 - 8/40) = 0.2 ... so pick the
+	// comparison the theorem needs: individual and global must differ.
+	if almost(ind[a1], global[a1], 1e-9) {
+		t.Errorf("individual (%v) and global (%v) coincide for a=1", ind[a1], global[a1])
+	}
+	// And the joint itemset must be the top divergent pattern.
+	top := r.TopK(FPR, 1, ByDivergence)
+	want := mustItemset(t, db, "a=1", "b=1")
+	if !top[0].Items.Equal(want) {
+		t.Errorf("top divergent = %s, want a=1,b=1", db.Catalog.Format(top[0].Items))
+	}
+}
+
+// GlobalDivergenceOf on single items agrees with the batch computation.
+func TestGlobalDivergenceOfMatchesBatch(t *testing.T) {
+	db := randomClassifierDB(t, 55, 3, 2, 70)
+	r := explore(t, db, 0.02)
+	global := r.GlobalDivergence(ErrorRate)
+	for _, it := range r.FrequentItems() {
+		got, err := r.GlobalDivergenceOf(fpm.Itemset{it}, ErrorRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, global[it], 1e-9) {
+			t.Errorf("GlobalDivergenceOf(%s) = %v, batch = %v",
+				db.Catalog.Name(it), got, global[it])
+		}
+	}
+}
+
+func TestGlobalDivergenceOfErrors(t *testing.T) {
+	db := fixtureDB(t)
+	r := explore(t, db, 0.05)
+	if _, err := r.GlobalDivergenceOf(nil, FPR); err == nil {
+		t.Error("empty itemset accepted")
+	}
+	if _, err := r.GlobalDivergenceOf(fpm.Itemset{999}, FPR); err == nil {
+		t.Error("unknown itemset accepted")
+	}
+}
+
+func TestCompareItemDivergenceSorted(t *testing.T) {
+	db := randomClassifierDB(t, 66, 3, 2, 60)
+	r := explore(t, db, 0.02)
+	cmp := r.CompareItemDivergence(ErrorRate)
+	if len(cmp) == 0 {
+		t.Fatal("empty comparison")
+	}
+	for i := 1; i < len(cmp); i++ {
+		gi, gp := cmp[i].Global, cmp[i-1].Global
+		if math.IsNaN(gi) || math.IsNaN(gp) {
+			continue
+		}
+		if gi > gp+1e-12 {
+			t.Errorf("comparison not sorted at %d: %v after %v", i, gi, gp)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	return "1"
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+// rowSpec describes one test instance: attribute values plus ground truth
+// and prediction.
+type rowSpec struct {
+	values []string
+	truth  bool
+	pred   bool
+}
+
+// buildClassifierDB assembles a TxDB with confusion-class outcomes from
+// explicit row specs.
+func buildClassifierDB(t testing.TB, attrNames []string, rows []rowSpec) *fpm.TxDB {
+	t.Helper()
+	b := dataset.NewBuilder(attrNames...)
+	truth := make([]bool, len(rows))
+	pred := make([]bool, len(rows))
+	for i, r := range rows {
+		if err := b.Add(r.values...); err != nil {
+			t.Fatal(err)
+		}
+		truth[i] = r.truth
+		pred[i] = r.pred
+	}
+	b.SortDomains()
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := ConfusionClasses(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fpm.NewTxDB(d, classes, NumConfusionClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// randomClassifierDB builds a reproducible random classifier database
+// where every complete attribute combination is guaranteed to appear at
+// least once (needed by the exact global-divergence axiom tests).
+func randomClassifierDB(t testing.TB, seed int64, attrs, card, extraRows int) *fpm.TxDB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, attrs)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	var rows []rowSpec
+	// Enumerate all card^attrs combinations once.
+	total := 1
+	for i := 0; i < attrs; i++ {
+		total *= card
+	}
+	for idx := 0; idx < total; idx++ {
+		vals := make([]string, attrs)
+		x := idx
+		for i := 0; i < attrs; i++ {
+			vals[i] = fmt.Sprintf("v%d", x%card)
+			x /= card
+		}
+		rows = append(rows, rowSpec{vals, rng.Intn(2) == 0, rng.Intn(2) == 0})
+	}
+	for i := 0; i < extraRows; i++ {
+		vals := make([]string, attrs)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("v%d", rng.Intn(card))
+		}
+		rows = append(rows, rowSpec{vals, rng.Intn(2) == 0, rng.Intn(2) == 0})
+	}
+	return buildClassifierDB(t, names, rows)
+}
+
+// explore is a test shorthand running the default exploration.
+func explore(t testing.TB, db *fpm.TxDB, minSup float64) *Result {
+	t.Helper()
+	r, err := Explore(db, minSup, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// mustItemset resolves item names or fails the test.
+func mustItemset(t testing.TB, db *fpm.TxDB, names ...string) fpm.Itemset {
+	t.Helper()
+	is, err := db.Catalog.ItemsetByNames(names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := randomClassifierDB(t, 81, 3, 3, 200)
+	r := explore(t, db, 0.02)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadResult(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumPatterns() != r.NumPatterns() ||
+		loaded.MinSup != r.MinSup || loaded.Miner != r.Miner {
+		t.Fatalf("metadata mismatch: %+v", loaded)
+	}
+	// Every analysis gives identical answers on the loaded result.
+	for _, p := range r.Patterns {
+		q, ok := loaded.Lookup(p.Items)
+		if !ok || q.Tally != p.Tally {
+			t.Fatalf("pattern %v lost in round trip", p.Items)
+		}
+	}
+	origTop := r.TopK(ErrorRate, 5, ByDivergence)
+	loadTop := loaded.TopK(ErrorRate, 5, ByDivergence)
+	for i := range origTop {
+		if !origTop[i].Items.Equal(loadTop[i].Items) ||
+			origTop[i].Divergence != loadTop[i].Divergence {
+			t.Fatalf("ranking differs after load at %d", i)
+		}
+	}
+	g1 := r.GlobalDivergence(ErrorRate)
+	g2 := loaded.GlobalDivergence(ErrorRate)
+	for it, v := range g1 {
+		if g2[it] != v {
+			t.Fatalf("global divergence differs for item %v", it)
+		}
+	}
+}
+
+func TestLoadRejectsWrongDatabase(t *testing.T) {
+	dbA := randomClassifierDB(t, 82, 3, 2, 100)
+	dbB := randomClassifierDB(t, 83, 3, 2, 100) // same shape, different rows
+	r := explore(t, dbA, 0.05)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(&buf, dbB); err == nil {
+		t.Error("snapshot attached to a different database")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := randomClassifierDB(t, 84, 2, 2, 50)
+	if _, err := LoadResult(bytes.NewReader([]byte("not a gob")), db); err == nil {
+		t.Error("garbage decoded")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/fpm"
+)
+
+// Prune applies the post-exploration redundancy pruning of Sec. 3.5: a
+// pattern I is removed when some item α ∈ I changes the divergence by at
+// most eps, i.e. |Δ(I) − Δ(I \ α)| <= eps — the shorter pattern I \ α
+// already captures (up to eps) the divergence of I. Singletons are
+// compared against the empty itemset (Δ = 0), so items with |Δ| <= eps
+// are pruned too.
+//
+// Patterns on which the metric is undefined are pruned: they carry no
+// rate information under m. The surviving patterns are returned in the
+// result's canonical order.
+func (r *Result) Prune(m Metric, eps float64) []Pattern {
+	var out []Pattern
+	for _, p := range r.Patterns {
+		if !r.pruned(p, m, eps) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PrunedCount returns how many patterns survive pruning at eps — the
+// quantity swept in Figure 10.
+func (r *Result) PrunedCount(m Metric, eps float64) int {
+	n := 0
+	for _, p := range r.Patterns {
+		if !r.pruned(p, m, eps) {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Result) pruned(p Pattern, m Metric, eps float64) bool {
+	if math.IsNaN(r.Rate(p.Tally, m)) {
+		return true
+	}
+	div := r.DivergenceOfTally(p.Tally, m)
+	for _, alpha := range p.Items {
+		var parentDiv float64
+		parent := p.Items.Without(alpha)
+		if len(parent) > 0 {
+			pp, ok := r.Lookup(parent)
+			if !ok {
+				continue
+			}
+			parentDiv = r.DivergenceOfTally(pp.Tally, m)
+		}
+		if math.Abs(div-parentDiv) <= eps {
+			return true
+		}
+	}
+	return false
+}
+
+// TopKPruned ranks the patterns surviving redundancy pruning, as in
+// Table 6: the most divergent non-redundant itemsets.
+func (r *Result) TopKPruned(m Metric, eps float64, k int, order RankOrder) []Ranked {
+	survivors := r.Prune(m, eps)
+	sub := &Result{
+		DB:       r.DB,
+		MinSup:   r.MinSup,
+		MinCount: r.MinCount,
+		Miner:    r.Miner,
+		Patterns: survivors,
+		index:    make(map[string]int, len(survivors)),
+		total:    r.total,
+	}
+	for i, p := range survivors {
+		sub.index[p.Items.Key()] = i
+	}
+	return sub.TopK(m, k, order)
+}
+
+// MarginalContribution returns Δ(I) − Δ(I\α) for α ∈ I, the quantity the
+// pruning rule thresholds. The second return is false when I or I\α is
+// not frequent or the metric is undefined on either.
+func (r *Result) MarginalContribution(is fpm.Itemset, alpha fpm.Item, m Metric) (float64, bool) {
+	if !is.Contains(alpha) {
+		return 0, false
+	}
+	p, ok := r.Lookup(is)
+	if !ok || math.IsNaN(r.Rate(p.Tally, m)) {
+		return 0, false
+	}
+	parent := is.Without(alpha)
+	var parentDiv float64
+	if len(parent) > 0 {
+		pp, ok := r.Lookup(parent)
+		if !ok || math.IsNaN(r.Rate(pp.Tally, m)) {
+			return 0, false
+		}
+		parentDiv = r.DivergenceOfTally(pp.Tally, m)
+	}
+	return r.DivergenceOfTally(p.Tally, m) - parentDiv, true
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fpm"
+	"repro/internal/stats"
+)
+
+// Contribution is the attribution of divergence to one item.
+type Contribution struct {
+	Item  fpm.Item
+	Value float64
+}
+
+// LocalShapley computes the contribution Δ(α|I) of every item α of a
+// frequent itemset I to its divergence, via the Shapley value over the
+// sub-itemset lattice (Def. 4.1, Eq. 5). Because every subset of a
+// frequent itemset is frequent, all 2^|I| terms are served from the mined
+// index. The contributions sum to Δ(I) (Shapley efficiency).
+func (r *Result) LocalShapley(is fpm.Itemset, m Metric) ([]Contribution, error) {
+	if len(is) == 0 {
+		return nil, fmt.Errorf("core: Shapley of the empty itemset")
+	}
+	if _, ok := r.Lookup(is); !ok {
+		return nil, fmt.Errorf("core: itemset %s not frequent at support %v",
+			r.DB.Catalog.Format(is), r.MinSup)
+	}
+	n := len(is)
+	if n > 24 {
+		return nil, fmt.Errorf("core: itemset too long for exact Shapley (%d items)", n)
+	}
+
+	// Divergence of every subset, indexed by bitmask over positions in is.
+	div := make([]float64, 1<<n)
+	buf := make(fpm.Itemset, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, is[i])
+			}
+		}
+		p, ok := r.Lookup(buf)
+		if !ok {
+			// Impossible for subsets of a frequent itemset (anti-monotone
+			// support); indicates an inconsistent Result.
+			return nil, fmt.Errorf("core: subset %s of frequent itemset missing from index",
+				r.DB.Catalog.Format(buf))
+		}
+		div[mask] = r.DivergenceOfTally(p.Tally, m)
+	}
+
+	out := make([]Contribution, n)
+	full := (1 << n) - 1
+	for i := 0; i < n; i++ {
+		bit := 1 << i
+		var sum float64
+		// Iterate over subsets J of I \ {α_i} by walking masks without bit.
+		rest := full &^ bit
+		for sub := rest; ; sub = (sub - 1) & rest {
+			j := popcount(sub)
+			w := stats.ShapleyWeight(j, n)
+			sum += w * (div[sub|bit] - div[sub])
+			if sub == 0 {
+				break
+			}
+		}
+		out[i] = Contribution{Item: is[i], Value: sum}
+	}
+	return out, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// SortContributions orders contributions by decreasing value (stable on
+// item id for determinism). It sorts in place and returns its argument.
+func SortContributions(cs []Contribution) []Contribution {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Value != cs[j].Value {
+			return cs[i].Value > cs[j].Value
+		}
+		return cs[i].Item < cs[j].Item
+	})
+	return cs
+}

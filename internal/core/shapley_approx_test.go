@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxShapleyConvergesToExact(t *testing.T) {
+	db := randomClassifierDB(t, 21, 4, 2, 200)
+	r := explore(t, db, 0.01)
+	checked := 0
+	for _, p := range r.Patterns {
+		if len(p.Items) < 3 {
+			continue
+		}
+		exact, err := r.LocalShapley(p.Items, ErrorRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := r.ApproxLocalShapley(p.Items, ErrorRate, ApproxShapleyConfig{
+			Permutations: 4000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			if approx[i].Item != exact[i].Item {
+				t.Fatalf("item order mismatch")
+			}
+			if math.Abs(approx[i].Value-exact[i].Value) > 0.02 {
+				t.Errorf("pattern %v item %v: approx %v vs exact %v",
+					p.Items, exact[i].Item, approx[i].Value, exact[i].Value)
+			}
+		}
+		checked++
+		if checked >= 5 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no 3-item patterns to check")
+	}
+}
+
+// Efficiency is exact for the permutation estimator: the telescoping sum
+// makes every sample sum to Δ(I).
+func TestApproxShapleyEfficiencyExact(t *testing.T) {
+	db := randomClassifierDB(t, 22, 3, 2, 120)
+	r := explore(t, db, 0.02)
+	for _, p := range r.Patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		cs, err := r.ApproxLocalShapley(p.Items, ErrorRate, ApproxShapleyConfig{
+			Permutations: 7, Seed: 1, // tiny on purpose: efficiency must hold anyway
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, c := range cs {
+			sum += c.Value
+		}
+		div := r.DivergenceOfTally(p.Tally, ErrorRate)
+		if !almost(sum, div, 1e-9) {
+			t.Fatalf("efficiency violated: Σ=%v, Δ=%v on %v", sum, div, p.Items)
+		}
+	}
+}
+
+func TestApproxShapleyDeterministicGivenSeed(t *testing.T) {
+	db := randomClassifierDB(t, 23, 3, 2, 100)
+	r := explore(t, db, 0.02)
+	var target Pattern
+	for _, p := range r.Patterns {
+		if len(p.Items) == 3 {
+			target = p
+			break
+		}
+	}
+	if target.Items == nil {
+		t.Skip("no 3-item pattern")
+	}
+	a, err := r.ApproxLocalShapley(target.Items, ErrorRate, ApproxShapleyConfig{Permutations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ApproxLocalShapley(target.Items, ErrorRate, ApproxShapleyConfig{Permutations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed estimates differ")
+		}
+	}
+}
+
+func TestApproxShapleyErrors(t *testing.T) {
+	db := fixtureDB(t)
+	r := explore(t, db, 0.05)
+	if _, err := r.ApproxLocalShapley(nil, FPR, ApproxShapleyConfig{}); err == nil {
+		t.Error("empty itemset accepted")
+	}
+	if _, err := r.ApproxLocalShapley(mustItemset(t, db, "g=1", "h=y"), FPR, ApproxShapleyConfig{}); err == nil {
+		// (g=1, h=y) has empty support in the fixture, hence not frequent.
+		t.Error("infrequent itemset accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpm"
+)
+
+// Shapley efficiency (the fundamental axiom): contributions of all items
+// of I sum exactly to Δ(I). Checked on every frequent itemset of a
+// random classifier database.
+func TestLocalShapleyEfficiency(t *testing.T) {
+	db := randomClassifierDB(t, 5, 3, 2, 120)
+	r := explore(t, db, 0.02)
+	checked := 0
+	for _, p := range r.Patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		cs, err := r.LocalShapley(p.Items, ErrorRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, c := range cs {
+			sum += c.Value
+		}
+		div := r.DivergenceOfTally(p.Tally, ErrorRate)
+		if !almost(sum, div, 1e-9) {
+			t.Fatalf("Σ contributions = %v, Δ = %v on %s",
+				sum, div, db.Catalog.Format(p.Items))
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no multi-item patterns checked")
+	}
+}
+
+// Efficiency as a quick property across random databases and metrics.
+func TestLocalShapleyEfficiencyProperty(t *testing.T) {
+	metrics := []Metric{FPR, FNR, ErrorRate, Accuracy}
+	f := func(seed uint32, mIdx uint8) bool {
+		db := randomClassifierDB(t, int64(seed), 3, 2, 40)
+		r := explore(t, db, 0.05)
+		m := metrics[int(mIdx)%len(metrics)]
+		for _, p := range r.Patterns {
+			if len(p.Items) < 2 {
+				continue
+			}
+			cs, err := r.LocalShapley(p.Items, m)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, c := range cs {
+				sum += c.Value
+			}
+			if !almost(sum, r.DivergenceOfTally(p.Tally, m), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A single-item itemset's Shapley contribution is its own divergence.
+func TestLocalShapleySingleton(t *testing.T) {
+	db := fixtureDB(t)
+	r := explore(t, db, 0.05)
+	g1 := mustItemset(t, db, "g=1")
+	cs, err := r.LocalShapley(g1, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, _ := r.Divergence(g1, FPR)
+	if len(cs) != 1 || !almost(cs[0].Value, div, 1e-12) {
+		t.Errorf("singleton Shapley = %v, want %v", cs, div)
+	}
+}
+
+// Symmetric items (duplicated attribute columns) receive equal
+// contributions.
+func TestLocalShapleySymmetry(t *testing.T) {
+	var rows []rowSpec
+	vals := []struct {
+		v     string
+		n     int
+		truth bool
+		pred  bool
+	}{
+		{"1", 6, false, true},
+		{"1", 2, false, false},
+		{"0", 1, false, true},
+		{"0", 7, false, false},
+	}
+	for _, s := range vals {
+		for i := 0; i < s.n; i++ {
+			// Attributes x and y are exact copies.
+			rows = append(rows, rowSpec{[]string{s.v, s.v}, s.truth, s.pred})
+		}
+	}
+	db := buildClassifierDB(t, []string{"x", "y"}, rows)
+	r := explore(t, db, 0.05)
+	is := mustItemset(t, db, "x=1", "y=1")
+	cs, err := r.LocalShapley(is, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(cs[0].Value, cs[1].Value, 1e-12) {
+		t.Errorf("symmetric items got %v and %v", cs[0].Value, cs[1].Value)
+	}
+}
+
+// A null item (adding it never changes the divergence) gets zero
+// contribution. Construct by duplicating every row across z=0/z=1.
+func TestLocalShapleyNullItem(t *testing.T) {
+	base := []rowSpec{
+		{[]string{"1"}, false, true},
+		{[]string{"1"}, false, true},
+		{[]string{"1"}, false, false},
+		{[]string{"0"}, false, true},
+		{[]string{"0"}, false, false},
+		{[]string{"0"}, false, false},
+	}
+	var rows []rowSpec
+	for _, r := range base {
+		for _, z := range []string{"0", "1"} {
+			rows = append(rows, rowSpec{[]string{r.values[0], z}, r.truth, r.pred})
+		}
+	}
+	db := buildClassifierDB(t, []string{"g", "z"}, rows)
+	r := explore(t, db, 0.01)
+	is := mustItemset(t, db, "g=1", "z=0")
+	cs, err := r.LocalShapley(is, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		name := db.Catalog.Name(c.Item)
+		if name == "z=0" && !almost(c.Value, 0, 1e-12) {
+			t.Errorf("null item z=0 contribution = %v, want 0", c.Value)
+		}
+		if name == "g=1" {
+			div, _ := r.Divergence(is, FPR)
+			if !almost(c.Value, div, 1e-12) {
+				t.Errorf("g=1 contribution = %v, want full Δ %v", c.Value, div)
+			}
+		}
+	}
+}
+
+func TestLocalShapleyErrors(t *testing.T) {
+	db := fixtureDB(t)
+	r := explore(t, db, 0.05)
+	if _, err := r.LocalShapley(nil, FPR); err == nil {
+		t.Error("empty itemset accepted")
+	}
+	long := make(fpm.Itemset, 30)
+	if _, err := r.LocalShapley(long, FPR); err == nil {
+		t.Error("infrequent/oversized itemset accepted")
+	}
+}
+
+func TestSortContributions(t *testing.T) {
+	cs := []Contribution{{Item: 2, Value: 0.1}, {Item: 1, Value: 0.5}, {Item: 3, Value: 0.1}}
+	SortContributions(cs)
+	if cs[0].Item != 1 || cs[1].Item != 2 || cs[2].Item != 3 {
+		t.Errorf("sorted = %v", cs)
+	}
+}
+
+// Negative contributions appear for corrective items inside itemsets
+// (Figure 3): an item whose presence pulls divergence toward zero.
+func TestShapleyNegativeContribution(t *testing.T) {
+	var rows []rowSpec
+	add := func(g, p string, n int, pred bool) {
+		for i := 0; i < n; i++ {
+			rows = append(rows, rowSpec{[]string{g, p}, false, pred})
+		}
+	}
+	// g=1 alone: strongly FP-prone.
+	add("1", "hi", 8, true)
+	add("1", "hi", 2, false)
+	// g=1 with p=zero: corrected back to baseline.
+	add("1", "zero", 1, true)
+	add("1", "zero", 9, false)
+	// g=0 rows: baseline FPR.
+	add("0", "hi", 2, true)
+	add("0", "hi", 8, false)
+	add("0", "zero", 2, true)
+	add("0", "zero", 8, false)
+	db := buildClassifierDB(t, []string{"g", "p"}, rows)
+	r := explore(t, db, 0.01)
+	is := mustItemset(t, db, "g=1", "p=zero")
+	cs, err := r.LocalShapley(is, FPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeroContrib float64
+	found := false
+	for _, c := range cs {
+		if db.Catalog.Name(c.Item) == "p=zero" {
+			zeroContrib = c.Value
+			found = true
+		}
+	}
+	if !found || zeroContrib >= 0 {
+		t.Errorf("corrective item contribution = %v, want negative", zeroContrib)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 3: 2, 255: 8, 256: 1}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// Guard against regressions in the math: Shapley on a 2-item set has the
+// closed form ½(Δ(ab)−Δ(b)) + ½Δ(a).
+func TestLocalShapleyClosedFormPair(t *testing.T) {
+	db := randomClassifierDB(t, 99, 2, 2, 80)
+	r := explore(t, db, 0.02)
+	for _, p := range r.Patterns {
+		if len(p.Items) != 2 {
+			continue
+		}
+		cs, err := r.LocalShapley(p.Items, ErrorRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dAB := r.DivergenceOfTally(p.Tally, ErrorRate)
+		dA, _ := r.Divergence(fpm.Itemset{p.Items[0]}, ErrorRate)
+		dB, _ := r.Divergence(fpm.Itemset{p.Items[1]}, ErrorRate)
+		wantA := 0.5*(dAB-dB) + 0.5*dA
+		var gotA float64
+		for _, c := range cs {
+			if c.Item == p.Items[0] {
+				gotA = c.Value
+			}
+		}
+		if !almost(gotA, wantA, 1e-9) {
+			t.Fatalf("pair closed form: got %v, want %v", gotA, wantA)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/fpm"
+	"repro/internal/stats"
+)
+
+// ExploreTopK streams the mining pass and keeps only the k most
+// divergent patterns for one metric, in O(k) memory instead of
+// O(#frequent itemsets). The answer is exact — every frequent pattern is
+// still visited (completeness cannot be traded away, Sec. 5) — but the
+// full result map is never materialized, so lattice-wide analyses
+// (Shapley, global divergence, corrective items) are unavailable on the
+// output. Use it when only the leaderboard is needed on workloads like
+// german at s = 0.01, where the full result holds millions of patterns.
+func ExploreTopK(db *fpm.TxDB, minSup float64, m Metric, k int, order RankOrder) ([]Ranked, error) {
+	if minSup < 0 || minSup > 1 {
+		return nil, fmt.Errorf("core: support threshold %v out of [0,1]", minSup)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k %d < 1", k)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	minCount := fpm.MinCount(db.NumRows(), minSup)
+	total := db.TotalTally()
+	rows := float64(db.NumRows())
+	globalRate := rateOf(total, m)
+	if math.IsNaN(globalRate) {
+		return nil, fmt.Errorf("core: metric %s undefined on the whole dataset", m.Name)
+	}
+	globalPost := posteriorOf(total, m)
+
+	key := func(div float64) float64 {
+		switch order {
+		case ByAbsDivergence:
+			return math.Abs(div)
+		case ByNegDivergence:
+			return -div
+		default:
+			return div
+		}
+	}
+
+	h := &rankedHeap{key: key}
+	err := fpm.FPGrowth{}.MineVisit(db, minCount, func(p fpm.FrequentPattern) error {
+		rate := rateOf(p.Tally, m)
+		if math.IsNaN(rate) {
+			return nil
+		}
+		div := rate - globalRate
+		if h.Len() == k && key(div) <= key(h.items[0].Divergence) {
+			return nil
+		}
+		rk := Ranked{
+			Items:      p.Items.Clone(),
+			Tally:      p.Tally,
+			Support:    float64(p.Tally.Total()) / rows,
+			Rate:       rate,
+			Divergence: div,
+		}
+		if h.Len() == k {
+			h.items[0] = rk
+			heap.Fix(h, 0)
+		} else {
+			heap.Push(h, rk)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Drain the heap into descending order and fill in significance.
+	out := make([]Ranked, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Ranked)
+	}
+	for i := range out {
+		out[i].T = welchOf(out[i].Tally, m, globalPost)
+	}
+	return out, nil
+}
+
+func rateOf(t fpm.Tally, m Metric) float64 {
+	kp, kn := m.Counts(t)
+	if kp+kn == 0 {
+		return math.NaN()
+	}
+	return float64(kp) / float64(kp+kn)
+}
+
+func posteriorOf(t fpm.Tally, m Metric) stats.PosteriorRate {
+	kp, kn := m.Counts(t)
+	return stats.NewPosteriorRate(float64(kp), float64(kn))
+}
+
+func welchOf(t fpm.Tally, m Metric, global stats.PosteriorRate) float64 {
+	return stats.WelchTPosterior(posteriorOf(t, m), global)
+}
+
+// rankedHeap is a min-heap on the ranking key, so the weakest of the
+// kept k patterns sits at the root.
+type rankedHeap struct {
+	items []Ranked
+	key   func(float64) float64
+}
+
+func (h *rankedHeap) Len() int { return len(h.items) }
+func (h *rankedHeap) Less(i, j int) bool {
+	ki, kj := h.key(h.items[i].Divergence), h.key(h.items[j].Divergence)
+	if ki != kj {
+		return ki < kj
+	}
+	return h.items[i].Support < h.items[j].Support
+}
+func (h *rankedHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *rankedHeap) Push(x interface{}) {
+	h.items = append(h.items, x.(Ranked))
+}
+func (h *rankedHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExploreTopKMatchesFullExploration(t *testing.T) {
+	db := randomClassifierDB(t, 71, 4, 3, 300)
+	full := explore(t, db, 0.02)
+	for _, order := range []RankOrder{ByDivergence, ByAbsDivergence, ByNegDivergence} {
+		for _, k := range []int{1, 5, 25} {
+			want := full.TopK(ErrorRate, k, order)
+			got, err := ExploreTopK(db, 0.02, ErrorRate, k, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("order=%v k=%d: %d patterns, want %d", order, k, len(got), len(want))
+			}
+			// The heap's tie-breaking may differ from the full ranking's,
+			// so compare the multiset of ranking keys rather than the
+			// exact itemsets.
+			for i := range got {
+				kg := rankKey(got[i].Divergence, order)
+				kw := rankKey(want[i].Divergence, order)
+				if !almost(kg, kw, 1e-12) {
+					t.Fatalf("order=%v k=%d rank %d: key %v, want %v",
+						order, k, i, kg, kw)
+				}
+				// Cross-check the streamed annotations against the full
+				// result.
+				rk, err := full.Describe(got[i].Items, ErrorRate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !almost(rk.Divergence, got[i].Divergence, 1e-12) ||
+					!almost(rk.Support, got[i].Support, 1e-12) ||
+					!almost(rk.T, got[i].T, 1e-9) {
+					t.Fatalf("annotation mismatch on %v", got[i].Items)
+				}
+			}
+		}
+	}
+}
+
+func rankKey(div float64, order RankOrder) float64 {
+	switch order {
+	case ByAbsDivergence:
+		return math.Abs(div)
+	case ByNegDivergence:
+		return -div
+	default:
+		return div
+	}
+}
+
+func TestExploreTopKValidation(t *testing.T) {
+	db := fixtureDB(t)
+	if _, err := ExploreTopK(db, -1, FPR, 5, ByDivergence); err == nil {
+		t.Error("bad support accepted")
+	}
+	if _, err := ExploreTopK(db, 0.05, FPR, 0, ByDivergence); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ExploreTopK(db, 0.05, Metric{Name: "bad"}, 5, ByDivergence); err == nil {
+		t.Error("invalid metric accepted")
+	}
+}
+
+func TestExploreTopKOrderedOutput(t *testing.T) {
+	db := randomClassifierDB(t, 72, 3, 2, 200)
+	got, err := ExploreTopK(db, 0.05, ErrorRate, 10, ByDivergence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Divergence > got[i-1].Divergence+1e-12 {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package datagen
+
+import "math/rand"
+
+// AdultRows matches the |D| of Table 4 (adult after dropping missing
+// values).
+const AdultRows = 45222
+
+// Adult generates the synthetic stand-in for the UCI adult (census
+// income) dataset with the 11 attributes the paper uses: age, workclass,
+// education, marital-status, occupation, relationship, race, sex,
+// capital-gain, capital-loss and hours-per-week (discretized). Income
+// above 50K is the positive class (≈ 25% of instances). The classifier
+// output is calibrated to overall FPR ≈ 0.08 and FNR ≈ 0.38, with errors
+// concentrated where the paper's Table 5 reports them: false positives
+// among married professionals, false negatives among young unmarried
+// low-hours workers.
+func Adult(seed int64) *Generated {
+	return adultSized(seed, AdultRows)
+}
+
+func adultSized(seed int64, n int) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		ageVals   = []string{"<=28", "29-37", "38-48", ">48"}
+		workVals  = []string{"Private", "Self-emp", "Gov", "Other"}
+		eduVals   = []string{"HS", "Some-college", "Bachelors", "Masters", "Doctorate", "Other"}
+		statVals  = []string{"Married", "Unmarried", "Divorced", "Widowed"}
+		occupVals = []string{"Prof", "Exec", "Sales", "Craft", "Service", "Other"}
+		relVals   = []string{"Husband", "Wife", "Own-child", "Not-in-family", "Other"}
+		raceVals  = []string{"White", "Black", "Asian", "Other"}
+		sexVals   = []string{"Male", "Female"}
+		gainVals  = []string{"0", ">0"}
+		lossVals  = []string{"0", ">0"}
+		hourVals  = []string{"<=40", ">40"}
+	)
+	cols := make([][]string, 11)
+	for c := range cols {
+		cols[c] = make([]string, n)
+	}
+	truthScore := make([]float64, n)
+	predScore := make([]float64, n)
+
+	for i := 0; i < n; i++ {
+		a := categorical(rng, []float64{0.28, 0.26, 0.26, 0.20})
+		s := categorical(rng, []float64{0.68, 0.32})
+
+		// Marital status: older people are more often married; Own-child
+		// relationships concentrate among the young and unmarried.
+		statW := []float64{0.47, 0.33, 0.14, 0.06}
+		if a == 0 {
+			statW = []float64{0.22, 0.64, 0.11, 0.03}
+		} else if a == 3 {
+			statW = []float64{0.58, 0.14, 0.18, 0.10}
+		}
+		st := categorical(rng, statW)
+
+		var rel int
+		if st == 0 { // married
+			if s == 0 {
+				rel = categorical(rng, []float64{0.84, 0.02, 0.01, 0.05, 0.08})
+			} else {
+				rel = categorical(rng, []float64{0.02, 0.80, 0.02, 0.06, 0.10})
+			}
+		} else {
+			if a == 0 {
+				rel = categorical(rng, []float64{0, 0, 0.55, 0.33, 0.12})
+			} else {
+				rel = categorical(rng, []float64{0, 0, 0.08, 0.68, 0.24})
+			}
+		}
+
+		e := categorical(rng, []float64{0.34, 0.26, 0.20, 0.08, 0.02, 0.10})
+		// Occupation correlates with education.
+		occW := []float64{0.12, 0.12, 0.12, 0.22, 0.20, 0.22}
+		if e >= 2 && e <= 4 { // Bachelors+
+			occW = []float64{0.34, 0.24, 0.12, 0.08, 0.06, 0.16}
+		}
+		o := categorical(rng, occW)
+
+		w := categorical(rng, []float64{0.70, 0.10, 0.14, 0.06})
+		rce := categorical(rng, []float64{0.85, 0.09, 0.03, 0.03})
+		g := categorical(rng, []float64{0.92, 0.08})
+		l := categorical(rng, []float64{0.95, 0.05})
+		hrW := []float64{0.70, 0.30}
+		if o == 1 || w == 1 { // executives and the self-employed work longer
+			hrW = []float64{0.45, 0.55}
+		}
+		h := categorical(rng, hrW)
+
+		cols[0][i] = ageVals[a]
+		cols[1][i] = workVals[w]
+		cols[2][i] = eduVals[e]
+		cols[3][i] = statVals[st]
+		cols[4][i] = occupVals[o]
+		cols[5][i] = relVals[rel]
+		cols[6][i] = raceVals[rce]
+		cols[7][i] = sexVals[s]
+		cols[8][i] = gainVals[g]
+		cols[9][i] = lossVals[l]
+		cols[10][i] = hourVals[h]
+
+		// Ground-truth income model.
+		tv := 0.0
+		switch e {
+		case 2:
+			tv += 0.80
+		case 3:
+			tv += 1.30
+		case 4:
+			tv += 1.70
+		case 1:
+			tv += 0.25
+		}
+		switch o {
+		case 0:
+			tv += 0.60
+		case 1:
+			tv += 0.75
+		case 4:
+			tv -= 0.50
+		}
+		if st == 0 {
+			tv += 1.00
+		}
+		switch a {
+		case 0:
+			tv -= 1.10
+		case 2:
+			tv += 0.35
+		case 3:
+			tv += 0.30
+		}
+		if g == 1 {
+			tv += 1.60
+		}
+		if h == 1 {
+			tv += 0.55
+		}
+		if s == 0 {
+			tv += 0.30
+		}
+		truthScore[i] = tv
+
+		// Classifier score: over-weights marriage and professional
+		// occupation (⇒ Table 5's FP pattern), under-weights youth and
+		// short hours (⇒ Table 5's FN pattern among young unmarried
+		// low-hours workers, who score very low).
+		uv := 0.0
+		switch e {
+		case 2:
+			uv += 0.85
+		case 3:
+			uv += 1.15
+		case 4:
+			uv += 1.45
+		case 1:
+			uv += 0.20
+		}
+		switch o {
+		case 0:
+			uv += 1.15
+		case 1:
+			uv += 1.00
+		case 4:
+			uv -= 0.45
+		}
+		if st == 0 {
+			uv += 1.60
+		} else if st == 1 {
+			uv -= 0.80
+		}
+		switch a {
+		case 0:
+			uv -= 1.30
+		case 2:
+			uv += 0.30
+		case 3:
+			uv += 0.25
+		}
+		if g == 1 {
+			uv += 1.10
+		}
+		if h == 1 {
+			uv += 0.45
+		} else {
+			uv -= 0.25
+		}
+		if rel == 2 { // Own-child
+			uv -= 0.60
+		}
+		predScore[i] = uv
+	}
+
+	bTruth := calibrateIntercept(truthScore, 0.25)
+	truth := drawBernoulli(rng, truthScore, bTruth)
+	pred := predWithTargets(rng, truth, predScore, 0.08, 1-0.38)
+
+	data := buildDataset(
+		[]string{"age", "workclass", "edu", "status", "occup", "relation",
+			"race", "sex", "gain", "loss", "hoursXW"},
+		cols,
+	)
+	return &Generated{Name: "adult", Data: data, Truth: truth, Pred: pred}
+}

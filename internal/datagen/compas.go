@@ -1,0 +1,204 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// COMPASRows matches the |D| of Table 4.
+const COMPASRows = 6172
+
+// COMPAS generates the synthetic stand-in for the ProPublica COMPAS
+// dataset (Sec. 3.6): 6,172 defendants over six discretized attributes,
+// ground-truth recidivism, and a COMPAS-like risk score whose overall
+// FPR is calibrated to 0.088 and FNR to 0.698 (Sec. 1), with the bias
+// structure the paper reports: the score over-predicts recidivism for
+// young-to-middle-aged African-American men with many priors, and
+// under-predicts it for older Caucasians with no priors, short jail
+// stays, and misdemeanor charges.
+func COMPAS(seed int64) *Generated {
+	g, _ := COMPASWithPriors(seed)
+	return g
+}
+
+// COMPASWithPriors additionally returns the raw (pre-discretization)
+// number of prior offenses per defendant, which Figure 1 re-discretizes
+// at two granularities. The dataset's "prior" attribute is the standard
+// 3-interval discretization {0, [1,3], >3} of these counts, and the
+// score models depend monotonically on the raw count, so finer
+// discretizations expose strictly more divergence (Property 3.1).
+func COMPASWithPriors(seed int64) (*Generated, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := COMPASRows
+
+	var (
+		ageVals    = []string{"<25", "25-45", ">45"}
+		chargeVals = []string{"F", "M"}
+		raceVals   = []string{"Afr-Am", "Cauc", "Hisp", "Other"}
+		sexVals    = []string{"Male", "Female"}
+		stayVals   = []string{"<week", "1w-3M", ">3M"}
+	)
+	age := make([]string, n)
+	charge := make([]string, n)
+	race := make([]string, n)
+	sex := make([]string, n)
+	prior := make([]string, n)
+	stay := make([]string, n)
+	rawPriors := make([]float64, n)
+	truthScore := make([]float64, n)
+	predScore := make([]float64, n)
+
+	for i := 0; i < n; i++ {
+		r := categorical(rng, []float64{0.51, 0.34, 0.08, 0.07})
+		race[i] = raceVals[r]
+		s := categorical(rng, []float64{0.81, 0.19})
+		sex[i] = sexVals[s]
+
+		// Age skews slightly younger for African-American defendants, as
+		// in the source data.
+		ageW := []float64{0.22, 0.57, 0.21}
+		if r == 0 {
+			ageW = []float64{0.27, 0.58, 0.15}
+		}
+		a := categorical(rng, ageW)
+		age[i] = ageVals[a]
+
+		// Prior-offense counts: a point mass at zero plus a geometric
+		// tail, with the category weights shaped by age, race and sex as
+		// in the source data (priors accumulate with age; the dataset's
+		// African-American and male defendants have more recorded priors).
+		priorW := []float64{0.49, 0.30, 0.21}
+		if a == 0 {
+			priorW = []float64{0.66, 0.26, 0.08}
+		} else if a == 2 {
+			priorW = []float64{0.40, 0.30, 0.30}
+		}
+		if r == 0 {
+			priorW[2] *= 1.7
+			priorW[0] *= 0.8
+		}
+		if s == 0 {
+			priorW[2] *= 1.25
+		}
+		p := categorical(rng, priorW)
+		count := 0
+		switch p {
+		case 1: // one to three priors, uniformly
+			count = 1 + rng.Intn(3)
+		case 2: // four or more: geometric tail capped at 20
+			count = 4
+			for count < 20 && rng.Float64() < 0.75 {
+				count++
+			}
+		}
+		rawPriors[i] = float64(count)
+		switch {
+		case count == 0:
+			prior[i] = "0"
+		case count <= 3:
+			prior[i] = "[1,3]"
+		default:
+			prior[i] = ">3"
+		}
+
+		// Felony charges are more common with long criminal histories;
+		// older defendants skew toward misdemeanors, as in the source
+		// data.
+		chargeW := []float64{0.64, 0.36}
+		if p == 2 {
+			chargeW = []float64{0.74, 0.26}
+		}
+		if a == 2 {
+			chargeW[1] *= 1.45
+		}
+		c := categorical(rng, chargeW)
+		charge[i] = chargeVals[c]
+
+		// Jail stay correlates with charge severity and priors.
+		stayW := []float64{0.58, 0.27, 0.15}
+		if c == 0 && p == 2 {
+			stayW = []float64{0.38, 0.33, 0.29}
+		} else if c == 1 && p == 0 {
+			stayW = []float64{0.74, 0.19, 0.07}
+		}
+		st := categorical(rng, stayW)
+		stay[i] = stayVals[st]
+
+		// Ground-truth recidivism model: criminal history and youth are
+		// the dominant factors; race enters only weakly and directly
+		// (standing in for unmodeled socioeconomic covariates), mostly
+		// acting through its correlation with the other attributes.
+		tv := 0.0
+		if count > 0 {
+			tv += math.Min(0.18*float64(count), 1.5)
+		}
+		switch a {
+		case 0:
+			tv += 0.60
+		case 2:
+			tv -= 0.60
+		}
+		if c == 0 {
+			tv += 0.10
+		}
+		if s == 0 {
+			tv += 0.20
+		}
+		if r == 0 {
+			tv += 0.15
+		}
+		if st == 2 {
+			tv += 0.30
+		}
+		truthScore[i] = tv
+
+		// COMPAS-like score: similar signal, but with an explicit racial
+		// skew and a stronger, monotone reliance on the prior count — the
+		// bias structure the paper's divergence analysis uncovers.
+		uv := 0.0
+		if count == 0 {
+			uv -= 0.90
+		} else {
+			uv += math.Min(0.26*float64(count-2), 2.2)
+		}
+		switch a {
+		case 0:
+			uv += 0.55
+		case 1:
+			uv += 0.25
+		case 2:
+			uv -= 0.75
+		}
+		switch r {
+		case 0:
+			uv += 0.55
+		case 1:
+			uv -= 0.35
+		}
+		if s == 0 {
+			uv += 0.15
+		}
+		if c == 0 {
+			uv += 0.20
+		}
+		switch st {
+		case 0:
+			uv -= 0.30
+		case 2:
+			uv += 0.40
+		}
+		predScore[i] = uv
+	}
+
+	// Calibrate and draw ground truth (overall recidivism ≈ 0.45) and the
+	// score (overall FPR 0.088, TPR = 1 − 0.698 = 0.302).
+	bTruth := calibrateIntercept(truthScore, 0.45)
+	truth := drawBernoulli(rng, truthScore, bTruth)
+	pred := predWithTargets(rng, truth, predScore, 0.088, 1-0.698)
+
+	data := buildDataset(
+		[]string{"age", "charge", "race", "sex", "prior", "stay"},
+		[][]string{age, charge, race, sex, prior, stay},
+	)
+	return &Generated{Name: "COMPAS", Data: data, Truth: truth, Pred: pred}, rawPriors
+}

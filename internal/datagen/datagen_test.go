@@ -1,0 +1,283 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/classifier"
+)
+
+func TestTable4Cardinalities(t *testing.T) {
+	cases := []struct {
+		name       string
+		rows, cols int
+	}{
+		{"adult", AdultRows, 11},
+		{"bank", BankRows, 15},
+		{"COMPAS", COMPASRows, 6},
+		{"german", GermanRows, 21},
+		{"heart", HeartRows, 13},
+		{"artificial", ArtificialRows, 10},
+	}
+	for _, c := range cases {
+		g, err := ByName(c.name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Data.NumRows() != c.rows {
+			t.Errorf("%s rows = %d, want %d", c.name, g.Data.NumRows(), c.rows)
+		}
+		if g.Data.NumAttrs() != c.cols {
+			t.Errorf("%s attrs = %d, want %d", c.name, g.Data.NumAttrs(), c.cols)
+		}
+		if len(g.Truth) != c.rows || len(g.Pred) != c.rows {
+			t.Errorf("%s label slices sized %d/%d", c.name, len(g.Truth), len(g.Pred))
+		}
+		if err := g.Data.Validate(); err != nil {
+			t.Errorf("%s invalid dataset: %v", c.name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNamesCoverAllGenerators(t *testing.T) {
+	for _, n := range Names() {
+		if _, err := ByName(n, 1); err != nil {
+			t.Errorf("Names() lists %q but ByName fails: %v", n, err)
+		}
+	}
+}
+
+func TestCOMPASCalibration(t *testing.T) {
+	g := COMPAS(7)
+	fpr, fnr := classifier.ConfusionRates(g.Truth, g.Pred)
+	if math.Abs(fpr-0.088) > 0.012 {
+		t.Errorf("COMPAS overall FPR = %v, want ≈ 0.088", fpr)
+	}
+	if math.Abs(fnr-0.698) > 0.02 {
+		t.Errorf("COMPAS overall FNR = %v, want ≈ 0.698", fnr)
+	}
+	// Recidivism base rate ≈ 0.45.
+	pos := 0
+	for _, v := range g.Truth {
+		if v {
+			pos++
+		}
+	}
+	if rate := float64(pos) / float64(len(g.Truth)); math.Abs(rate-0.45) > 0.03 {
+		t.Errorf("COMPAS recidivism rate = %v, want ≈ 0.45", rate)
+	}
+}
+
+func TestCOMPASBiasStructure(t *testing.T) {
+	g := COMPAS(7)
+	d := g.Data
+	raceIdx := d.AttrIndex("race")
+	priorIdx := d.AttrIndex("prior")
+	// FPR among African-American defendants with >3 priors must exceed
+	// the overall FPR clearly (the paper's headline finding).
+	var rows []int
+	for r := range d.Rows {
+		if d.Value(r, raceIdx) == "Afr-Am" && d.Value(r, priorIdx) == ">3" {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) < 100 {
+		t.Fatalf("only %d rows in the target subgroup", len(rows))
+	}
+	subTruth := make([]bool, len(rows))
+	subPred := make([]bool, len(rows))
+	for i, r := range rows {
+		subTruth[i] = g.Truth[r]
+		subPred[i] = g.Pred[r]
+	}
+	subFPR, _ := classifier.ConfusionRates(subTruth, subPred)
+	allFPR, _ := classifier.ConfusionRates(g.Truth, g.Pred)
+	if subFPR < allFPR+0.05 {
+		t.Errorf("subgroup FPR %v not clearly above overall %v", subFPR, allFPR)
+	}
+	// And FNR for older Caucasians must exceed the overall FNR.
+	ageIdx := d.AttrIndex("age")
+	rows = rows[:0]
+	for r := range d.Rows {
+		if d.Value(r, raceIdx) == "Cauc" && d.Value(r, ageIdx) == ">45" {
+			rows = append(rows, r)
+		}
+	}
+	subTruth = subTruth[:0]
+	subPred = subPred[:0]
+	for _, r := range rows {
+		subTruth = append(subTruth, g.Truth[r])
+		subPred = append(subPred, g.Pred[r])
+	}
+	_, subFNR := classifier.ConfusionRates(subTruth, subPred)
+	_, allFNR := classifier.ConfusionRates(g.Truth, g.Pred)
+	if subFNR < allFNR+0.03 {
+		t.Errorf("older-Caucasian FNR %v not clearly above overall %v", subFNR, allFNR)
+	}
+}
+
+func TestArtificialConstruction(t *testing.T) {
+	g := artificialSized(3, 8000)
+	d := g.Data
+	// Predictions equal the rule u = (a=b=c).
+	ai, bi, ci := d.AttrIndex("a"), d.AttrIndex("b"), d.AttrIndex("c")
+	flipped, inGroup := 0, 0
+	for r := range d.Rows {
+		rule := d.Value(r, ai) == d.Value(r, bi) && d.Value(r, bi) == d.Value(r, ci)
+		if g.Pred[r] != rule {
+			t.Fatalf("row %d: prediction %v differs from rule %v", r, g.Pred[r], rule)
+		}
+		if rule {
+			inGroup++
+			if !g.Truth[r] {
+				flipped++
+			}
+		} else if g.Truth[r] {
+			t.Fatalf("row %d: truth flipped outside a=b=c", r)
+		}
+	}
+	// Half the a=b=c instances are flipped.
+	if math.Abs(float64(flipped)/float64(inGroup)-0.5) > 0.01 {
+		t.Errorf("flipped fraction = %v, want 0.5", float64(flipped)/float64(inGroup))
+	}
+	// a=b=c covers ≈ 1/4 of the data.
+	if frac := float64(inGroup) / float64(d.NumRows()); math.Abs(frac-0.25) > 0.03 {
+		t.Errorf("a=b=c fraction = %v, want ≈ 0.25", frac)
+	}
+}
+
+func TestAdultCalibration(t *testing.T) {
+	g := adultSized(5, 12000)
+	fpr, fnr := classifier.ConfusionRates(g.Truth, g.Pred)
+	if math.Abs(fpr-0.08) > 0.015 {
+		t.Errorf("adult FPR = %v, want ≈ 0.08", fpr)
+	}
+	if math.Abs(fnr-0.38) > 0.03 {
+		t.Errorf("adult FNR = %v, want ≈ 0.38", fnr)
+	}
+	// FP concentration among married professionals (Table 5 shape).
+	d := g.Data
+	statIdx, occIdx := d.AttrIndex("status"), d.AttrIndex("occup")
+	var st, sp []bool
+	for r := range d.Rows {
+		if d.Value(r, statIdx) == "Married" && d.Value(r, occIdx) == "Prof" {
+			st = append(st, g.Truth[r])
+			sp = append(sp, g.Pred[r])
+		}
+	}
+	subFPR, _ := classifier.ConfusionRates(st, sp)
+	if subFPR < fpr+0.1 {
+		t.Errorf("married-professional FPR %v not clearly above overall %v", subFPR, fpr)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := COMPAS(11)
+	b := COMPAS(11)
+	for r := range a.Data.Rows {
+		for c := range a.Data.Attrs {
+			if a.Data.Value(r, c) != b.Data.Value(r, c) {
+				t.Fatalf("row %d col %d differs between same-seed runs", r, c)
+			}
+		}
+		if a.Truth[r] != b.Truth[r] || a.Pred[r] != b.Pred[r] {
+			t.Fatalf("labels differ at row %d between same-seed runs", r)
+		}
+	}
+	c := COMPAS(12)
+	same := true
+	for r := range a.Data.Rows {
+		if a.Truth[r] != c.Truth[r] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical truth labels")
+	}
+}
+
+func TestCalibrateIntercept(t *testing.T) {
+	scores := make([]float64, 1000)
+	for i := range scores {
+		scores[i] = float64(i%7) - 3
+	}
+	for _, target := range []float64{0.1, 0.45, 0.9} {
+		b := calibrateIntercept(scores, target)
+		var mean float64
+		for _, s := range scores {
+			mean += sigmoid(b + s)
+		}
+		mean /= float64(len(scores))
+		if math.Abs(mean-target) > 1e-6 {
+			t.Errorf("target %v: calibrated mean %v", target, mean)
+		}
+	}
+}
+
+func TestRampAndUniform(t *testing.T) {
+	w := ramp(3, 0.5)
+	if w[0] != -0.5 || w[1] != 0 || w[2] != 0.5 {
+		t.Errorf("ramp = %v", w)
+	}
+	if got := ramp(1, 2); got[0] != 0 {
+		t.Errorf("ramp(1) = %v", got)
+	}
+	u := uniform(4)
+	for _, x := range u {
+		if x != 1 {
+			t.Errorf("uniform = %v", u)
+		}
+	}
+}
+
+func TestCategoricalRespectsZeroWeights(t *testing.T) {
+	g := Bank(1)
+	// Spot check domains are fully used where weights are positive.
+	for i := range g.Data.Attrs {
+		if got := g.Data.Attrs[i].Cardinality(); got < 2 {
+			t.Errorf("bank attr %s has degenerate domain (%d values)",
+				g.Data.Attrs[i].Name, got)
+		}
+	}
+}
+
+func TestCOMPASWithPriorsConsistency(t *testing.T) {
+	g, raw := COMPASWithPriors(9)
+	if len(raw) != g.Data.NumRows() {
+		t.Fatalf("raw priors length %d vs %d rows", len(raw), g.Data.NumRows())
+	}
+	idx := g.Data.AttrIndex("prior")
+	over7 := 0
+	for r, count := range raw {
+		cat := g.Data.Value(r, idx)
+		var want string
+		switch {
+		case count == 0:
+			want = "0"
+		case count <= 3:
+			want = "[1,3]"
+		default:
+			want = ">3"
+		}
+		if cat != want {
+			t.Fatalf("row %d: count %v categorized as %q, want %q", r, count, cat, want)
+		}
+		if count < 0 || count > 20 {
+			t.Fatalf("row %d: count %v out of range", r, count)
+		}
+		if count > 7 {
+			over7++
+		}
+	}
+	// The >7 tail must be frequent enough for Figure 1's s=0.05 analysis.
+	if frac := float64(over7) / float64(len(raw)); frac < 0.05 {
+		t.Errorf("P(prior > 7) = %v, want >= 0.05 for Figure 1", frac)
+	}
+}

@@ -1,0 +1,75 @@
+package datagen
+
+import "math/rand"
+
+// attrSpec describes one independently sampled attribute: its domain,
+// marginal sampling weights, and the per-value contributions to the
+// ground-truth and classifier score models. Used by the bank, german and
+// heart generators, which serve the performance experiments (Figures 6
+// and 7) and need the right shape (rows, attribute counts, domain sizes)
+// more than a bespoke correlation structure.
+type attrSpec struct {
+	name    string
+	values  []string
+	weights []float64
+	truthW  []float64
+	predW   []float64
+}
+
+// generateFromSpec samples n rows with independent attributes and draws
+// ground truth (overall rate posRate) and predictions (overall FPR and
+// TPR as given) from the spec's score models.
+func generateFromSpec(name string, seed int64, n int, specs []attrSpec, posRate, fpr, tpr float64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]string, len(specs))
+	names := make([]string, len(specs))
+	for c, s := range specs {
+		cols[c] = make([]string, n)
+		names[c] = s.name
+	}
+	truthScore := make([]float64, n)
+	predScore := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for c, s := range specs {
+			v := categorical(rng, s.weights)
+			cols[c][i] = s.values[v]
+			if s.truthW != nil {
+				truthScore[i] += s.truthW[v]
+			}
+			if s.predW != nil {
+				predScore[i] += s.predW[v]
+			}
+		}
+	}
+	bTruth := calibrateIntercept(truthScore, posRate)
+	truth := drawBernoulli(rng, truthScore, bTruth)
+	pred := predWithTargets(rng, truth, predScore, fpr, tpr)
+	return &Generated{
+		Name:  name,
+		Data:  buildDataset(names, cols),
+		Truth: truth,
+		Pred:  pred,
+	}
+}
+
+// uniform returns k equal sampling weights.
+func uniform(k int) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ramp returns k score weights increasing linearly from -scale to +scale,
+// a convenient monotone effect over an ordered domain.
+func ramp(k int, scale float64) []float64 {
+	w := make([]float64, k)
+	if k == 1 {
+		return w
+	}
+	for i := range w {
+		w[i] = scale * (2*float64(i)/float64(k-1) - 1)
+	}
+	return w
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSVOptions controls CSV parsing for ReadCSV.
+type CSVOptions struct {
+	// Comma is the field delimiter; ',' when zero.
+	Comma rune
+	// MissingValues lists cell contents treated as missing (e.g. "?", "").
+	MissingValues []string
+	// DropMissing, when true, silently skips records containing missing
+	// values (the paper's standard preprocessing). When false a missing
+	// value is an error.
+	DropMissing bool
+	// TrimSpace trims surrounding whitespace from every cell.
+	TrimSpace bool
+}
+
+// ReadCSV reads a headered CSV stream into a Dataset. Every column is
+// treated as categorical; continuous columns should be discretized
+// afterwards (or pre-discretized in the file).
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = 0 // require rectangular input
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if opts.TrimSpace {
+		for i := range header {
+			header[i] = strings.TrimSpace(header[i])
+		}
+	}
+	missing := make(map[string]bool, len(opts.MissingValues))
+	for _, m := range opts.MissingValues {
+		missing[m] = true
+	}
+
+	b := NewBuilder(header...)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		line++
+		if opts.TrimSpace {
+			for i := range rec {
+				rec[i] = strings.TrimSpace(rec[i])
+			}
+		}
+		skip := false
+		for i, v := range rec {
+			if missing[v] {
+				if opts.DropMissing {
+					skip = true
+					break
+				}
+				return nil, fmt.Errorf("dataset: line %d: missing value in column %q", line, header[i])
+			}
+		}
+		if skip {
+			continue
+		}
+		if err := b.Add(rec...); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+	}
+	b.SortDomains()
+	return b.Dataset()
+}
+
+// WriteCSV writes the dataset as headered CSV.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.Attrs))
+	for i := range d.Attrs {
+		header[i] = d.Attrs[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(d.Attrs))
+	for r := range d.Rows {
+		for j := range d.Attrs {
+			rec[j] = d.Value(r, j)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

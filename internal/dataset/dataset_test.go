@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder("color", "size")
+	for _, rec := range [][]string{
+		{"red", "S"}, {"blue", "M"}, {"red", "L"}, {"green", "S"},
+	} {
+		if err := b.Add(rec...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := buildSmall(t)
+	if d.NumRows() != 4 || d.NumAttrs() != 2 {
+		t.Fatalf("shape = %dx%d, want 4x2", d.NumRows(), d.NumAttrs())
+	}
+	if got := d.AttrIndex("size"); got != 1 {
+		t.Errorf("AttrIndex(size) = %d, want 1", got)
+	}
+	if got := d.AttrIndex("nope"); got != -1 {
+		t.Errorf("AttrIndex(nope) = %d, want -1", got)
+	}
+	if got := d.Value(0, 0); got != "red" {
+		t.Errorf("Value(0,0) = %q, want red", got)
+	}
+	if got := d.Attrs[0].Cardinality(); got != 3 {
+		t.Errorf("color cardinality = %d, want 3", got)
+	}
+	if got := d.Attrs[0].ValueCode("green"); got < 0 {
+		t.Errorf("ValueCode(green) = %d, want >= 0", got)
+	}
+	if got := d.Attrs[0].ValueCode("???"); got != -1 {
+		t.Errorf("ValueCode(???) = %d, want -1", got)
+	}
+}
+
+func TestBuilderArityMismatch(t *testing.T) {
+	b := NewBuilder("a", "b")
+	if err := b.Add("x"); err == nil {
+		t.Error("Add with wrong arity succeeded, want error")
+	}
+}
+
+func TestSortDomains(t *testing.T) {
+	b := NewBuilder("x")
+	for _, v := range []string{"zebra", "apple", "mango"} {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SortDomains()
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"apple", "mango", "zebra"}
+	for i, w := range want {
+		if d.Attrs[0].Values[i] != w {
+			t.Fatalf("domain = %v, want %v", d.Attrs[0].Values, want)
+		}
+	}
+	// Rows must be remapped consistently: row 0 was "zebra".
+	if got := d.Value(0, 0); got != "zebra" {
+		t.Errorf("row 0 value after sort = %q, want zebra", got)
+	}
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dataset
+	}{
+		{"empty schema", Dataset{}},
+		{"empty attr name", Dataset{Attrs: []Attribute{{Name: "", Values: []string{"a"}}}}},
+		{"dup attr", Dataset{Attrs: []Attribute{
+			{Name: "x", Values: []string{"a"}}, {Name: "x", Values: []string{"a"}}}}},
+		{"empty domain", Dataset{Attrs: []Attribute{{Name: "x"}}}},
+		{"dup value", Dataset{Attrs: []Attribute{{Name: "x", Values: []string{"a", "a"}}}}},
+		{"ragged row", Dataset{
+			Attrs: []Attribute{{Name: "x", Values: []string{"a"}}},
+			Rows:  [][]int32{{0, 0}}}},
+		{"code out of range", Dataset{
+			Attrs: []Attribute{{Name: "x", Values: []string{"a"}}},
+			Rows:  [][]int32{{5}}}},
+	}
+	for _, c := range cases {
+		if err := c.d.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := buildSmall(t)
+	c := d.Clone()
+	c.Rows[0][0] = 99
+	c.Attrs[0].Values[0] = "mutated"
+	if d.Rows[0][0] == 99 || d.Attrs[0].Values[0] == "mutated" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSubsetAndColumns(t *testing.T) {
+	d := buildSmall(t)
+	s := d.Subset([]int{2, 0})
+	if s.NumRows() != 2 {
+		t.Fatalf("subset rows = %d, want 2", s.NumRows())
+	}
+	if got := s.Value(0, 0); got != "red" {
+		t.Errorf("subset Value(0,0) = %q, want red", got)
+	}
+	col := d.Column(1)
+	if len(col) != 4 || col[0] != "S" || col[1] != "M" {
+		t.Errorf("Column(1) = %v", col)
+	}
+	codes := d.ColumnCodes(0)
+	if len(codes) != 4 {
+		t.Errorf("ColumnCodes len = %d", len(codes))
+	}
+}
+
+func TestDropAttrs(t *testing.T) {
+	d := buildSmall(t)
+	out, err := d.DropAttrs("color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumAttrs() != 1 || out.Attrs[0].Name != "size" {
+		t.Errorf("DropAttrs result schema = %v", out.Attrs)
+	}
+	if out.NumRows() != 4 {
+		t.Errorf("DropAttrs rows = %d, want 4", out.NumRows())
+	}
+	if _, err := d.DropAttrs("ghost"); err == nil {
+		t.Error("DropAttrs(ghost) succeeded, want error")
+	}
+}
+
+func TestReadWriteCSVRoundTrip(t *testing.T) {
+	in := "a,b\nx,1\ny,2\nx,2\n"
+	d, err := ReadCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 || d.NumAttrs() != 2 {
+		t.Fatalf("shape = %dx%d", d.NumRows(), d.NumAttrs())
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCSV(&buf, CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumRows() != d.NumRows() {
+		t.Fatalf("round trip lost rows: %d vs %d", d2.NumRows(), d.NumRows())
+	}
+	for r := range d.Rows {
+		for j := range d.Attrs {
+			if d.Value(r, j) != d2.Value(r, j) {
+				t.Fatalf("round trip mismatch at (%d,%d)", r, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVMissingValues(t *testing.T) {
+	in := "a,b\nx,1\n?,2\ny,3\n"
+	// DropMissing: the '?' record disappears.
+	d, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		MissingValues: []string{"?"}, DropMissing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2 after dropping missing", d.NumRows())
+	}
+	// Without DropMissing: error.
+	if _, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		MissingValues: []string{"?"},
+	}); err == nil {
+		t.Error("ReadCSV with missing value succeeded, want error")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("ReadCSV(empty) succeeded, want error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\nx\n"), CSVOptions{}); err == nil {
+		t.Error("ReadCSV(ragged) succeeded, want error")
+	}
+}
+
+func TestReadCSVTrimAndDelimiter(t *testing.T) {
+	in := "a; b\n x ;y\n"
+	d, err := ReadCSV(strings.NewReader(in), CSVOptions{Comma: ';', TrimSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Attrs[1].Name != "b" {
+		t.Errorf("header = %v, want trimmed", d.Attrs)
+	}
+	if got := d.Value(0, 0); got != "x" {
+		t.Errorf("Value(0,0) = %q, want trimmed x", got)
+	}
+}
+
+// Property: building a dataset from arbitrary records and reading back
+// yields exactly the input values.
+func TestBuilderRoundTripProperty(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		b := NewBuilder("p", "q", "r")
+		want := make([][3]string, len(raw))
+		for i, rec := range raw {
+			vals := [3]string{
+				string(rune('a' + rec[0]%5)),
+				string(rune('f' + rec[1]%4)),
+				string(rune('k' + rec[2]%3)),
+			}
+			want[i] = vals
+			if err := b.Add(vals[0], vals[1], vals[2]); err != nil {
+				return false
+			}
+		}
+		b.SortDomains()
+		d, err := b.Dataset()
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			for j := 0; j < 3; j++ {
+				if d.Value(i, j) != want[i][j] {
+					return false
+				}
+			}
+		}
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsEmptyValue(t *testing.T) {
+	d := Dataset{Attrs: []Attribute{{Name: "x", Values: []string{"a", ""}}}}
+	if err := d.Validate(); err == nil {
+		t.Error("empty-string value accepted")
+	}
+	// ReadCSV surfaces the same rejection for empty cells...
+	if _, err := ReadCSV(strings.NewReader("x\nval\n\"\"\n"), CSVOptions{}); err == nil {
+		t.Error("CSV with empty cell accepted")
+	}
+	// ...unless the caller declares them missing and drops them.
+	d2, err := ReadCSV(strings.NewReader("x,y\nval,1\n,2\n"), CSVOptions{
+		MissingValues: []string{""}, DropMissing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumRows() != 1 {
+		t.Errorf("rows = %d, want 1 after dropping empty", d2.NumRows())
+	}
+}

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the reader and
+// that every accepted dataset validates and round-trips through
+// WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\nx,1\ny,2\n")
+	f.Add("a\n\"quoted,comma\"\n")
+	f.Add("")
+	f.Add("a,b\nx\n")
+	f.Add("h1,h2,h3\n,,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input), CSVOptions{TrimSpace: true})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		d2, err := ReadCSV(&buf, CSVOptions{})
+		if err != nil {
+			t.Fatalf("round trip unreadable: %v", err)
+		}
+		if d2.NumRows() != d.NumRows() || d2.NumAttrs() != d.NumAttrs() {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				d2.NumRows(), d2.NumAttrs(), d.NumRows(), d.NumAttrs())
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split partitions the dataset's rows into a train and a test subset by
+// shuffling with the given source and holding out testFraction of the
+// rows. It returns the two views plus the original row indexes of each
+// (so labels can be partitioned in lockstep).
+func Split(d *Dataset, rng *rand.Rand, testFraction float64) (train, test *Dataset, trainIdx, testIdx []int, err error) {
+	if testFraction <= 0 || testFraction >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("dataset: test fraction %v out of (0,1)", testFraction)
+	}
+	if d.NumRows() < 2 {
+		return nil, nil, nil, nil, fmt.Errorf("dataset: cannot split %d rows", d.NumRows())
+	}
+	perm := rng.Perm(d.NumRows())
+	nTest := int(float64(d.NumRows()) * testFraction)
+	if nTest == 0 {
+		nTest = 1
+	}
+	if nTest == d.NumRows() {
+		nTest = d.NumRows() - 1
+	}
+	testIdx = append([]int(nil), perm[:nTest]...)
+	trainIdx = append([]int(nil), perm[nTest:]...)
+	return d.Subset(trainIdx), d.Subset(testIdx), trainIdx, testIdx, nil
+}
+
+// SelectLabels gathers labels for the given original row indexes — the
+// companion to Split for carrying Boolean columns along.
+func SelectLabels(labels []bool, idx []int) []bool {
+	out := make([]bool, len(idx))
+	for i, r := range idx {
+		out[i] = labels[r]
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func splitFixture(t testing.TB, n int) (*Dataset, []bool) {
+	t.Helper()
+	b := NewBuilder("x")
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if err := b.Add(fmt.Sprint(i % 4)); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = i%3 == 0
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, labels
+}
+
+func TestSplitPartitions(t *testing.T) {
+	d, labels := splitFixture(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	train, test, trainIdx, testIdx, err := Split(d, rng, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.NumRows() != 30 || train.NumRows() != 70 {
+		t.Fatalf("split sizes %d/%d", train.NumRows(), test.NumRows())
+	}
+	// Disjoint and covering.
+	seen := map[int]bool{}
+	for _, i := range append(append([]int(nil), trainIdx...), testIdx...) {
+		if seen[i] {
+			t.Fatalf("row %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("partition covers %d rows", len(seen))
+	}
+	// Labels line up with the views.
+	trainLabels := SelectLabels(labels, trainIdx)
+	for i, r := range trainIdx {
+		if trainLabels[i] != labels[r] {
+			t.Fatal("label misaligned")
+		}
+		if train.Value(i, 0) != d.Value(r, 0) {
+			t.Fatal("row misaligned")
+		}
+	}
+}
+
+func TestSplitEdges(t *testing.T) {
+	d, _ := splitFixture(t, 10)
+	rng := rand.New(rand.NewSource(2))
+	if _, _, _, _, err := Split(d, rng, 0); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, _, _, _, err := Split(d, rng, 1); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	single, _ := splitFixture(t, 1)
+	if _, _, _, _, err := Split(single, rng, 0.5); err == nil {
+		t.Error("1-row dataset split")
+	}
+	// Tiny fractions still yield at least one test row.
+	_, test, _, _, err := Split(d, rng, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.NumRows() < 1 {
+		t.Error("empty test set")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	d, _ := splitFixture(t, 50)
+	_, _, a, _, err := Split(d, rand.New(rand.NewSource(7)), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, b, _, err := Split(d, rand.New(rand.NewSource(7)), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed splits differ")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package discretize converts continuous attributes into the discrete,
+// finite domains required by frequent pattern mining (paper Sec. 3.1 and
+// Sec. 5). Three strategies are provided: equal-width bins,
+// equal-frequency (quantile) bins, and explicit cut points. Property 3.1
+// of the paper guarantees that refining a discretization never hides
+// divergence; Figure 1 exercises this through the CutPoints strategy.
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Binner maps float64 values to bin labels.
+type Binner interface {
+	// Bin returns the label of the bin containing x.
+	Bin(x float64) string
+	// Labels returns all bin labels in ascending bin order.
+	Labels() []string
+}
+
+// cutBinner bins by a sorted list of interior cut points: bin i holds
+// values in (cuts[i-1], cuts[i]], with open-ended first and last bins.
+type cutBinner struct {
+	cuts   []float64
+	labels []string
+}
+
+// NewCutPoints builds a Binner from explicit interior cut points. With k
+// cut points there are k+1 bins labelled, e.g. for cuts [3, 7]:
+// "<=3.0", "(3.0-7.0]", ">7.0". Cut points must be strictly increasing.
+func NewCutPoints(cuts []float64) (Binner, error) {
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("discretize: no cut points")
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, fmt.Errorf("discretize: cut points not strictly increasing at %d", i)
+		}
+	}
+	labels := make([]string, len(cuts)+1)
+	labels[0] = fmt.Sprintf("<=%s", formatCut(cuts[0]))
+	for i := 1; i < len(cuts); i++ {
+		labels[i] = fmt.Sprintf("(%s-%s]", formatCut(cuts[i-1]), formatCut(cuts[i]))
+	}
+	labels[len(cuts)] = fmt.Sprintf(">%s", formatCut(cuts[len(cuts)-1]))
+	return &cutBinner{cuts: append([]float64(nil), cuts...), labels: labels}, nil
+}
+
+func formatCut(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return strconv.FormatFloat(x, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+func (b *cutBinner) Bin(x float64) string {
+	// First bin whose cut is >= x.
+	i := sort.SearchFloat64s(b.cuts, x)
+	// SearchFloat64s returns first index with cuts[i] >= x; values equal to
+	// a cut belong to the lower bin (interval closed on the right).
+	return b.labels[i]
+}
+
+func (b *cutBinner) Labels() []string { return append([]string(nil), b.labels...) }
+
+// NewEqualWidth builds a Binner with n bins of equal width spanning the
+// observed range of xs. Requires n >= 2 and a non-degenerate range.
+func NewEqualWidth(xs []float64, n int) (Binner, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", n)
+	}
+	lo, hi, err := minMax(xs)
+	if err != nil {
+		return nil, err
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("discretize: constant column cannot be equal-width binned")
+	}
+	cuts := make([]float64, n-1)
+	width := (hi - lo) / float64(n)
+	for i := range cuts {
+		cuts[i] = lo + width*float64(i+1)
+	}
+	return NewCutPoints(cuts)
+}
+
+// NewEqualFrequency builds a Binner with up to n bins containing roughly
+// equal numbers of observations (quantile binning). Duplicate quantiles
+// are merged, so the result may have fewer than n bins; an error is
+// returned if fewer than 2 distinct bins remain.
+func NewEqualFrequency(xs []float64, n int) (Binner, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 bins, got %d", n)
+	}
+	if _, _, err := minMax(xs); err != nil {
+		return nil, err
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cuts []float64
+	for i := 1; i < n; i++ {
+		pos := float64(i) * float64(len(sorted)-1) / float64(n)
+		c := sorted[int(math.Round(pos))]
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	// Drop a trailing cut equal to the maximum, which would create an
+	// empty last bin.
+	for len(cuts) > 0 && cuts[len(cuts)-1] >= sorted[len(sorted)-1] {
+		cuts = cuts[:len(cuts)-1]
+	}
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("discretize: not enough distinct values for %d bins", n)
+	}
+	return NewCutPoints(cuts)
+}
+
+func minMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("discretize: empty column")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, 0, fmt.Errorf("discretize: NaN in column")
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Column applies a Binner to a float column, producing string labels
+// suitable for dataset.Builder.
+func Column(xs []float64, b Binner) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = b.Bin(x)
+	}
+	return out
+}
+
+// Numeric reports whether every value of the attribute parses as a
+// number, i.e. whether the column is a candidate for discretization.
+func Numeric(d *dataset.Dataset, attr int) bool {
+	for _, v := range d.Attrs[attr].Values {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply rebuilds a dataset with the named attribute re-discretized using
+// the given binner. The attribute's current values must all be numeric.
+func Apply(d *dataset.Dataset, attrName string, b Binner) (*dataset.Dataset, error) {
+	idx := d.AttrIndex(attrName)
+	if idx < 0 {
+		return nil, fmt.Errorf("discretize: unknown attribute %q", attrName)
+	}
+	parsed := make([]float64, d.Attrs[idx].Cardinality())
+	for code, v := range d.Attrs[idx].Values {
+		x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("discretize: attribute %q value %q is not numeric: %w",
+				attrName, v, err)
+		}
+		parsed[code] = x
+	}
+	names := make([]string, d.NumAttrs())
+	for i := range d.Attrs {
+		names[i] = d.Attrs[i].Name
+	}
+	nb := dataset.NewBuilder(names...)
+	rec := make([]string, d.NumAttrs())
+	for r := range d.Rows {
+		for j := range d.Attrs {
+			if j == idx {
+				rec[j] = b.Bin(parsed[d.Rows[r][j]])
+			} else {
+				rec[j] = d.Value(r, j)
+			}
+		}
+		if err := nb.Add(rec...); err != nil {
+			return nil, err
+		}
+	}
+	nb.SortDomains()
+	return nb.Dataset()
+}

@@ -1,0 +1,245 @@
+package discretize
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestCutPointsBinning(t *testing.T) {
+	b, err := NewCutPoints([]float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{2, "<=3"}, {3, "<=3"}, {3.5, "(3-7]"}, {7, "(3-7]"}, {8, ">7"},
+	}
+	for _, c := range cases {
+		if got := b.Bin(c.x); got != c.want {
+			t.Errorf("Bin(%v) = %q, want %q", c.x, got, c.want)
+		}
+	}
+	if got := b.Labels(); len(got) != 3 {
+		t.Errorf("Labels = %v, want 3 entries", got)
+	}
+}
+
+func TestCutPointsErrors(t *testing.T) {
+	if _, err := NewCutPoints(nil); err == nil {
+		t.Error("NewCutPoints(nil) succeeded, want error")
+	}
+	if _, err := NewCutPoints([]float64{5, 5}); err == nil {
+		t.Error("NewCutPoints(non-increasing) succeeded, want error")
+	}
+}
+
+func TestEqualWidth(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b, err := NewEqualWidth(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Labels()); got != 5 {
+		t.Fatalf("bins = %d, want 5", got)
+	}
+	// Every value falls in some bin and bins are used in order.
+	labels := b.Labels()
+	lastIdx := -1
+	for _, x := range xs {
+		l := b.Bin(x)
+		idx := -1
+		for i, ll := range labels {
+			if ll == l {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("Bin(%v) = %q not among labels", x, l)
+		}
+		if idx < lastIdx {
+			t.Fatalf("bin order regressed at %v", x)
+		}
+		lastIdx = idx
+	}
+}
+
+func TestEqualWidthErrors(t *testing.T) {
+	if _, err := NewEqualWidth([]float64{1, 2}, 1); err == nil {
+		t.Error("n=1 succeeded, want error")
+	}
+	if _, err := NewEqualWidth([]float64{5, 5, 5}, 3); err == nil {
+		t.Error("constant column succeeded, want error")
+	}
+	if _, err := NewEqualWidth(nil, 3); err == nil {
+		t.Error("empty column succeeded, want error")
+	}
+}
+
+func TestEqualFrequencyBalance(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	b, err := NewEqualFrequency(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, x := range xs {
+		counts[b.Bin(x)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("got %d bins, want 4: %v", len(counts), counts)
+	}
+	for l, c := range counts {
+		if c < 200 || c > 300 {
+			t.Errorf("bin %q has %d values, want ~250", l, c)
+		}
+	}
+}
+
+func TestEqualFrequencySkewedDuplicates(t *testing.T) {
+	// Heavily skewed: most values identical. Bins must merge rather than
+	// produce empty or duplicate-labelled bins.
+	xs := make([]float64, 100)
+	for i := range xs {
+		if i < 90 {
+			xs[i] = 0
+		} else {
+			xs[i] = float64(i)
+		}
+	}
+	b, err := NewEqualFrequency(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Labels()); got < 2 {
+		t.Errorf("bins = %d, want >= 2", got)
+	}
+	// All-constant column: impossible.
+	if _, err := NewEqualFrequency([]float64{2, 2, 2}, 3); err == nil {
+		t.Error("constant column succeeded, want error")
+	}
+}
+
+func TestColumnHelper(t *testing.T) {
+	b, err := NewCutPoints([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Column([]float64{-1, 1}, b)
+	if got[0] != "<=0" || got[1] != ">0" {
+		t.Errorf("Column = %v", got)
+	}
+}
+
+func TestNumericDetection(t *testing.T) {
+	b := dataset.NewBuilder("num", "cat")
+	for _, rec := range [][]string{{"1", "x"}, {"2.5", "y"}, {"3", "x"}} {
+		if err := b.Add(rec...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Numeric(d, 0) {
+		t.Error("Numeric(num) = false, want true")
+	}
+	if Numeric(d, 1) {
+		t.Error("Numeric(cat) = true, want false")
+	}
+}
+
+func TestApplyRediscretizes(t *testing.T) {
+	b := dataset.NewBuilder("prior", "sex")
+	for _, rec := range [][]string{
+		{"0", "M"}, {"1", "F"}, {"4", "M"}, {"9", "M"}, {"2", "F"},
+	} {
+		if err := b.Add(rec...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := NewCutPoints([]float64{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Apply(d, "prior", bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := out.AttrIndex("prior")
+	want := []string{"<=0", "(0-3]", ">3", ">3", "(0-3]"}
+	for r, w := range want {
+		if got := out.Value(r, idx); got != w {
+			t.Errorf("row %d = %q, want %q", r, got, w)
+		}
+	}
+	// Untouched column preserved.
+	sIdx := out.AttrIndex("sex")
+	if got := out.Value(0, sIdx); got != "M" {
+		t.Errorf("sex column altered: %q", got)
+	}
+	// Errors: unknown attribute, non-numeric attribute.
+	if _, err := Apply(d, "ghost", bin); err == nil {
+		t.Error("Apply(ghost) succeeded, want error")
+	}
+	if _, err := Apply(d, "sex", bin); err == nil {
+		t.Error("Apply(sex) succeeded, want error")
+	}
+}
+
+// Property: cut-point binning is monotone — larger values never map to an
+// earlier bin — and total: every float maps to exactly one known label.
+func TestCutBinnerMonotoneProperty(t *testing.T) {
+	f := func(rawCuts []int8, rawXs []int16) bool {
+		cutSet := map[float64]bool{}
+		for _, c := range rawCuts {
+			cutSet[float64(c)] = true
+		}
+		if len(cutSet) == 0 {
+			return true
+		}
+		cuts := make([]float64, 0, len(cutSet))
+		for c := range cutSet {
+			cuts = append(cuts, c)
+		}
+		sort.Float64s(cuts)
+		b, err := NewCutPoints(cuts)
+		if err != nil {
+			return false
+		}
+		labels := b.Labels()
+		rank := map[string]int{}
+		for i, l := range labels {
+			rank[l] = i
+		}
+		xs := make([]float64, len(rawXs))
+		for i, x := range rawXs {
+			xs[i] = float64(x)
+		}
+		sort.Float64s(xs)
+		last := -1
+		for _, x := range xs {
+			r, ok := rank[b.Bin(x)]
+			if !ok || r < last {
+				return false
+			}
+			last = r
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

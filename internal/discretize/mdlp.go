@@ -1,0 +1,150 @@
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NewEntropyMDLP builds a supervised Binner using the Fayyad–Irani
+// entropy minimization heuristic with the MDL stopping criterion
+// (Fayyad & Irani, IJCAI'93): cut points are chosen recursively to
+// minimize class-label entropy, and a split is accepted only when its
+// information gain exceeds the minimum-description-length cost of
+// encoding it. This produces bins aligned with label behavior — the
+// right default when discretizing continuous attributes for divergence
+// analysis of a classifier.
+//
+// If no cut passes the MDL criterion the attribute carries no label
+// signal at any threshold; an error is returned so the caller can fall
+// back to unsupervised binning.
+func NewEntropyMDLP(xs []float64, labels []bool) (Binner, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("discretize: empty column")
+	}
+	if len(xs) != len(labels) {
+		return nil, fmt.Errorf("discretize: %d values vs %d labels", len(xs), len(labels))
+	}
+	ps := make([]labeledValue, len(xs))
+	for i := range xs {
+		if math.IsNaN(xs[i]) {
+			return nil, fmt.Errorf("discretize: NaN in column")
+		}
+		ps[i] = labeledValue{xs[i], labels[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+
+	var cuts []float64
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		cut, ok := bestMDLPCut(ps, lo, hi)
+		if !ok {
+			return
+		}
+		cuts = append(cuts, cut)
+		// Partition at the cut (values <= cut go left).
+		mid := lo
+		for mid < hi && ps[mid].x <= cut {
+			mid++
+		}
+		split(lo, mid)
+		split(mid, hi)
+	}
+	split(0, len(ps))
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("discretize: MDLP found no informative cut")
+	}
+	sort.Float64s(cuts)
+	return NewCutPoints(cuts)
+}
+
+// labeledValue is one (value, label) observation sorted for cutting.
+type labeledValue struct {
+	x float64
+	y bool
+}
+
+// bestMDLPCut finds the boundary cut minimizing weighted entropy in
+// ps[lo:hi], and accepts it only if the Fayyad–Irani MDL criterion holds.
+func bestMDLPCut(ps []labeledValue, lo, hi int) (float64, bool) {
+	n := hi - lo
+	if n < 4 {
+		return 0, false
+	}
+	totalPos := 0
+	for i := lo; i < hi; i++ {
+		if ps[i].y {
+			totalPos++
+		}
+	}
+	baseEnt := binaryEntropy(totalPos, n)
+	if baseEnt == 0 {
+		return 0, false // pure segment
+	}
+
+	bestEnt := math.Inf(1)
+	bestIdx := -1
+	leftPos := 0
+	for i := lo; i < hi-1; i++ {
+		if ps[i].y {
+			leftPos++
+		}
+		// Candidate boundaries only between distinct values.
+		if ps[i].x == ps[i+1].x {
+			continue
+		}
+		nl := i - lo + 1
+		nr := n - nl
+		ent := float64(nl)/float64(n)*binaryEntropy(leftPos, nl) +
+			float64(nr)/float64(n)*binaryEntropy(totalPos-leftPos, nr)
+		if ent < bestEnt {
+			bestEnt = ent
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+
+	// MDL acceptance: gain > (log2(n-1) + log2(3^k - 2) - k*E + ...)/n
+	// with k classes = 2 on each side.
+	gain := baseEnt - bestEnt
+	nl := bestIdx - lo + 1
+	nr := n - nl
+	leftP := 0
+	for i := lo; i <= bestIdx; i++ {
+		if ps[i].y {
+			leftP++
+		}
+	}
+	entL := binaryEntropy(leftP, nl)
+	entR := binaryEntropy(totalPos-leftP, nr)
+	k := classesIn(totalPos, n)
+	kl := classesIn(leftP, nl)
+	kr := classesIn(totalPos-leftP, nr)
+	delta := math.Log2(math.Pow(3, float64(k))-2) -
+		(float64(k)*baseEnt - float64(kl)*entL - float64(kr)*entR)
+	threshold := (math.Log2(float64(n-1)) + delta) / float64(n)
+	if gain <= threshold {
+		return 0, false
+	}
+	return ps[bestIdx].x, true
+}
+
+// classesIn counts the distinct binary classes present.
+func classesIn(pos, n int) int {
+	switch {
+	case pos == 0 || pos == n:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func binaryEntropy(pos, n int) float64 {
+	if n == 0 || pos == 0 || pos == n {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

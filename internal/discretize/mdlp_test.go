@@ -1,0 +1,99 @@
+package discretize
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMDLPFindsPlantedThreshold(t *testing.T) {
+	// Labels flip at x = 50 with mild noise: MDLP must place a cut near
+	// 50 and not fragment the rest.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 2000)
+	labels := make([]bool, 2000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		labels[i] = xs[i] > 50
+		if rng.Float64() < 0.05 {
+			labels[i] = !labels[i]
+		}
+	}
+	b, err := NewEntropyMDLP(xs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := b.Labels()
+	if len(bins) < 2 || len(bins) > 4 {
+		t.Fatalf("bins = %v, want 2-4 around one real threshold", bins)
+	}
+	// The dominant boundary separates the label regimes: points at 40 and
+	// 60 land in different bins.
+	if b.Bin(40) == b.Bin(60) {
+		t.Errorf("40 and 60 share bin %q; cut at 50 missed", b.Bin(40))
+	}
+}
+
+func TestMDLPTwoThresholds(t *testing.T) {
+	// Positive only inside (30, 70): two informative cuts.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 3000)
+	labels := make([]bool, 3000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		labels[i] = xs[i] > 30 && xs[i] < 70
+	}
+	b, err := NewEntropyMDLP(xs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Labels()); got != 3 {
+		t.Fatalf("bins = %d (%v), want 3", got, b.Labels())
+	}
+	if b.Bin(10) == b.Bin(50) || b.Bin(50) == b.Bin(90) || b.Bin(10) != b.Bin(20) {
+		t.Errorf("bin structure wrong: %q %q %q", b.Bin(10), b.Bin(50), b.Bin(90))
+	}
+}
+
+func TestMDLPRejectsNoise(t *testing.T) {
+	// Labels independent of x: no cut passes MDL.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	labels := make([]bool, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		labels[i] = rng.Intn(2) == 0
+	}
+	if _, err := NewEntropyMDLP(xs, labels); err == nil {
+		t.Error("MDLP cut pure noise")
+	}
+}
+
+func TestMDLPValidation(t *testing.T) {
+	if _, err := NewEntropyMDLP(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewEntropyMDLP([]float64{1, 2}, []bool{true}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	// Pure labels: nothing to split.
+	if _, err := NewEntropyMDLP([]float64{1, 2, 3, 4, 5}, []bool{true, true, true, true, true}); err == nil {
+		t.Error("pure segment split")
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := binaryEntropy(5, 10); !almostF(got, 1) {
+		t.Errorf("H(0.5) = %v, want 1", got)
+	}
+	if binaryEntropy(0, 10) != 0 || binaryEntropy(10, 10) != 0 || binaryEntropy(0, 0) != 0 {
+		t.Error("degenerate entropies wrong")
+	}
+}
+
+func almostF(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 6) on the synthetic stand-in datasets, printing
+// paper-style tables and ASCII bar charts. Each experiment is registered
+// under the paper's identifier (table1..table6, fig1..fig12, sec6.5) and
+// is runnable individually via cmd/experiments or as a benchmark in
+// bench_test.go. Generated datasets and explorations are cached per
+// process so running the full suite stays fast.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/fpm"
+)
+
+// Seed fixes all experiment randomness for reproducibility.
+const Seed = 2021
+
+// Experiment is one reproducible unit: a table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf fixes the presentation order (tables first is not paper order;
+// interleave as the paper does).
+func orderOf(id string) int {
+	order := []string{
+		"table1", "fig1", "table2", "fig2", "table3", "fig3", "fig4",
+		"fig5", "table4", "fig6", "fig7", "table5", "fig8", "fig9",
+		"table6", "fig10", "fig11", "sec6.5", "fig12",
+	}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// IDs lists all experiment identifiers in presentation order.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Shared dataset/exploration caches.
+
+type analyzed struct {
+	gen *datagen.Generated
+	db  *fpm.TxDB
+	res map[float64]*core.Result
+}
+
+var cache = map[string]*analyzed{}
+
+// analyzedDataset returns the (cached) transaction database for one of
+// the Table 4 datasets, with confusion-class outcomes.
+func analyzedDataset(name string) (*analyzed, error) {
+	if a, ok := cache[name]; ok {
+		return a, nil
+	}
+	gen, err := datagen.ByName(name, Seed)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := core.ConfusionClasses(gen.Truth, gen.Pred)
+	if err != nil {
+		return nil, err
+	}
+	db, err := fpm.NewTxDB(gen.Data, classes, core.NumConfusionClasses)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzed{gen: gen, db: db, res: map[float64]*core.Result{}}
+	cache[name] = a
+	return a, nil
+}
+
+// exploreAt returns the (cached) exploration of a dataset at a support
+// threshold.
+func exploreAt(name string, minSup float64) (*analyzed, *core.Result, error) {
+	a, err := analyzedDataset(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r, ok := a.res[minSup]; ok {
+		return a, r, nil
+	}
+	r, err := core.Explore(a.db, minSup, core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	a.res[minSup] = r
+	return a, r, nil
+}
+
+// ResetCache clears all cached datasets and explorations (used by the
+// runtime benchmarks, which must measure cold runs).
+func ResetCache() { cache = map[string]*analyzed{} }

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must be registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "sec6.5",
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, w := range want {
+		if !ids[w] {
+			t.Errorf("experiment %s not registered", w)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(ids), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil || e.ID != "table2" {
+		t.Errorf("ByID(table2) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("table99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if got := len(IDs()); got != len(All()) {
+		t.Errorf("IDs() length %d != All() length %d", got, len(All()))
+	}
+}
+
+// Fast experiments must run cleanly and produce non-trivial output. The
+// expensive sweeps (fig6, fig7 over german at s=0.01; fig4/sec6.5 over
+// the 50k-row artificial dataset) are exercised by the benchmarks and in
+// non-short mode.
+func TestFastExperimentsRun(t *testing.T) {
+	fast := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig1", "fig2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12"}
+	for _, id := range fast {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Errorf("%s failed: %v", id, err)
+			continue
+		}
+		if buf.Len() < 50 {
+			t.Errorf("%s produced only %d bytes", id, buf.Len())
+		}
+	}
+}
+
+func TestSlowExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiments skipped in short mode")
+	}
+	for _, id := range []string{"fig4", "sec6.5"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(&buf); err != nil {
+			t.Errorf("%s failed: %v", id, err)
+		}
+	}
+}
+
+// Reproduction assertions: the headline claims of the paper hold on the
+// synthetic data.
+func TestTable2TopPatternShape(t *testing.T) {
+	a, r, err := exploreAt("COMPAS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.TopK(core.FPR, 1, core.ByDivergence)
+	if len(top) == 0 {
+		t.Fatal("no FPR pattern")
+	}
+	label := a.db.Catalog.Format(top[0].Items)
+	for _, want := range []string{"prior=>3", "race=Afr-Am"} {
+		if !strings.Contains(label, want) {
+			t.Errorf("top FPR pattern %q missing item %s", label, want)
+		}
+	}
+	// Divergence magnitude comparable to the paper's 0.22.
+	if top[0].Divergence < 0.12 || top[0].Divergence > 0.35 {
+		t.Errorf("top FPR divergence %v far from paper's 0.22", top[0].Divergence)
+	}
+	topFNR := r.TopK(core.FNR, 1, core.ByDivergence)
+	if len(topFNR) == 0 || topFNR[0].Divergence < 0.12 {
+		t.Errorf("FNR top divergence %v too small vs paper's 0.236", topFNR[0].Divergence)
+	}
+}
+
+func TestTable6PruningShape(t *testing.T) {
+	_, r, err := exploreAt("adult", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.NumPatterns()
+	after := r.PrunedCount(core.FPR, 0.05)
+	// The paper reports 4534 -> 40: a two-orders-of-magnitude collapse.
+	if after == 0 || before/after < 20 {
+		t.Errorf("pruning %d -> %d lacks the paper's collapse", before, after)
+	}
+	top := r.TopKPruned(core.FPR, 0.05, 1, core.ByDivergence)
+	if len(top) == 0 {
+		t.Fatal("no pruned pattern")
+	}
+	// The paper's top pruned pattern is (status=Married, occup=Prof).
+	a, err := analyzedDataset("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := a.db.Catalog.Format(top[0].Items)
+	if !strings.Contains(label, "status=Married") {
+		t.Errorf("top pruned pattern %q does not feature status=Married", label)
+	}
+}
+
+// Figure 9's key observation: on adult, edu=Masters has top-tier
+// individual FPR divergence but markedly lower global divergence.
+func TestFigure9MastersInversion(t *testing.T) {
+	a, r, err := exploreAt("adult", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := r.CompareItemDivergence(core.FPR)
+	masters, err := a.db.Catalog.ItemByName("edu=Masters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalRank, indRank := -1, -1
+	// Rank positions among the top-12 global items (as the figure shows).
+	top := cmp
+	if len(top) > 12 {
+		top = top[:12]
+	}
+	byInd := append([]core.ItemDivergenceComparison(nil), top...)
+	for i := 1; i < len(byInd); i++ {
+		for j := i; j > 0 && byInd[j].Individual > byInd[j-1].Individual; j-- {
+			byInd[j], byInd[j-1] = byInd[j-1], byInd[j]
+		}
+	}
+	for i, c := range top {
+		if c.Item == masters {
+			globalRank = i
+		}
+	}
+	for i, c := range byInd {
+		if c.Item == masters {
+			indRank = i
+		}
+	}
+	if globalRank < 0 || indRank < 0 {
+		t.Skip("edu=Masters not among the top-12 global items in this draw")
+	}
+	if !(indRank < globalRank) {
+		t.Errorf("edu=Masters ranks: individual %d, global %d; want the paper's inversion (individual rank better)",
+			indRank, globalRank)
+	}
+}
+
+// Figure 4's headline on the artificial dataset: the six a/b/c items top
+// the global ranking with a clear margin over every other item.
+func TestFigure4GlobalSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-row artificial dataset")
+	}
+	_, r, err := exploreAt("artificial", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analyzedDataset("artificial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := r.CompareItemDivergence(core.FPR)
+	abc := map[string]bool{"a": true, "b": true, "c": true}
+	for i, c := range cmp {
+		attr := a.db.Catalog.AttrName(a.db.Catalog.Attr(c.Item))
+		if i < 6 && !abc[attr] {
+			t.Errorf("rank %d global item is %s, want an a/b/c item",
+				i, a.db.Catalog.Name(c.Item))
+		}
+		if i >= 6 && abc[attr] {
+			t.Errorf("a/b/c item %s fell to rank %d", a.db.Catalog.Name(c.Item), i)
+		}
+	}
+	// Margin: weakest a/b/c global divergence at least 5x the strongest
+	// non-abc item.
+	if len(cmp) > 6 && cmp[5].Global < 5*cmp[6].Global {
+		t.Errorf("separation too weak: %v vs %v", cmp[5].Global, cmp[6].Global)
+	}
+}

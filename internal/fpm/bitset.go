@@ -1,0 +1,38 @@
+package fpm
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector over row indexes, used by the
+// Apriori miner's vertical data layout.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// count returns the number of set bits.
+func (b bitset) count() int64 {
+	var n int64
+	for _, w := range b {
+		n += int64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// intersect stores a AND b into dst. All three must have equal length.
+func intersect(dst, a, b bitset) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// countAnd returns |a AND b| without materializing the intersection.
+func countAnd(a, b bitset) int64 {
+	var n int64
+	for i := range a {
+		n += int64(bits.OnesCount64(a[i] & b[i]))
+	}
+	return n
+}

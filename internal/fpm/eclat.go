@@ -1,0 +1,126 @@
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Eclat mines frequent itemsets with the Eclat algorithm (Zaki, 2000):
+// a depth-first search over a vertical layout where each itemset carries
+// its tidset (sorted row-id list), and candidate tidsets are computed by
+// ordered intersection. Tallies are accumulated from the per-row outcome
+// classes during intersection, so Eclat is a third drop-in Algorithm 1
+// backend alongside Apriori and FP-growth. Its sorted-slice tidsets often
+// beat Apriori's bitsets on sparse, low-support workloads and beat
+// FP-growth on small schemas; the miner-ablation benchmark quantifies
+// this.
+type Eclat struct{}
+
+// Name implements Miner.
+func (Eclat) Name() string { return "eclat" }
+
+// eclatEntry is one itemset in the current equivalence class, with its
+// tidset.
+type eclatEntry struct {
+	items Itemset
+	tids  []int32
+}
+
+// Mine implements Miner.
+func (Eclat) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
+	if minCount < 1 {
+		return nil, fmt.Errorf("fpm: minCount %d < 1", minCount)
+	}
+	cat := db.Catalog
+
+	// Build vertical layout: tidset per item (row ids ascending because
+	// rows are scanned in order).
+	tidsets := make([][]int32, cat.NumItems())
+	for r, row := range db.Data.Rows {
+		for a, v := range row {
+			it := cat.ItemFor(a, v)
+			tidsets[it] = append(tidsets[it], int32(r))
+		}
+	}
+
+	tallyOf := func(tids []int32) Tally {
+		var t Tally
+		for _, r := range tids {
+			t[db.Classes[r]]++
+		}
+		return t
+	}
+
+	var out []FrequentPattern
+	var root []eclatEntry
+	for it := 0; it < cat.NumItems(); it++ {
+		tids := tidsets[it]
+		if int64(len(tids)) < minCount {
+			continue
+		}
+		items := Itemset{Item(it)}
+		out = append(out, FrequentPattern{Items: items, Tally: tallyOf(tids)})
+		root = append(root, eclatEntry{items: items, tids: tids})
+	}
+
+	// Depth-first: extend each entry with the later entries of its class.
+	var extend func(class []eclatEntry)
+	extend = func(class []eclatEntry) {
+		for i := 0; i < len(class); i++ {
+			var next []eclatEntry
+			base := class[i]
+			lastAttr := cat.Attr(base.items[len(base.items)-1])
+			for j := i + 1; j < len(class); j++ {
+				other := class[j]
+				otherItem := other.items[len(other.items)-1]
+				// Same-attribute items can never co-occur.
+				if cat.Attr(otherItem) == lastAttr {
+					continue
+				}
+				tids := intersectTids(base.tids, other.tids)
+				if int64(len(tids)) < minCount {
+					continue
+				}
+				cand := append(base.items.Clone(), otherItem)
+				out = append(out, FrequentPattern{Items: cand, Tally: tallyOf(tids)})
+				next = append(next, eclatEntry{items: cand, tids: tids})
+			}
+			if len(next) > 1 {
+				extend(next)
+			} else if len(next) == 1 {
+				// Single entry: nothing to pair it with.
+				continue
+			}
+		}
+	}
+	extend(root)
+
+	sort.Slice(out, func(i, j int) bool { return lessItemsets(out[i].Items, out[j].Items) })
+	return out, nil
+}
+
+// intersectTids intersects two ascending row-id lists.
+func intersectTids(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FPGrowth mines frequent itemsets with the FP-growth algorithm (Han,
+// Pei & Yin, SIGMOD'00), generalized so that every tree node carries an
+// outcome Tally rather than a scalar count. Conditional pattern bases
+// propagate tallies, so each reported pattern comes with the exact class
+// counts needed to evaluate divergence metrics — the FP-growth-based
+// variant of Algorithm 1. This is the default miner used by the
+// experiments, matching the paper's choice.
+type FPGrowth struct{}
+
+// Name implements Miner.
+func (FPGrowth) Name() string { return "fpgrowth" }
+
+type fpNode struct {
+	item    Item
+	tally   Tally
+	parent  *fpNode
+	child   *fpNode // first child
+	sibling *fpNode // next sibling of parent
+	hlink   *fpNode // next node holding the same item
+}
+
+// addChild finds or creates the child of n holding item it.
+func (n *fpNode) addChild(it Item, headers map[Item]*fpNode) *fpNode {
+	for c := n.child; c != nil; c = c.sibling {
+		if c.item == it {
+			return c
+		}
+	}
+	c := &fpNode{item: it, parent: n}
+	c.sibling = n.child
+	n.child = c
+	c.hlink = headers[it]
+	headers[it] = c
+	return c
+}
+
+// fpTree is an FP-tree plus its header table and per-item total tallies.
+type fpTree struct {
+	root    *fpNode
+	headers map[Item]*fpNode
+	totals  map[Item]Tally
+	order   map[Item]int // global insertion rank (descending support)
+}
+
+// insert adds one weighted, pre-ordered transaction path to the tree.
+func (t *fpTree) insert(items []Item, w Tally) {
+	n := t.root
+	for _, it := range items {
+		n = n.addChild(it, t.headers)
+		n.tally.Add(w)
+	}
+}
+
+// weightedTx is a transaction in a conditional pattern base.
+type weightedTx struct {
+	items []Item
+	w     Tally
+}
+
+// buildTree constructs an FP-tree from weighted transactions, keeping
+// only items whose total support count reaches minCount and ordering
+// items within each transaction by the global rank.
+func buildTree(txs []weightedTx, minCount int64, order map[Item]int) *fpTree {
+	totals := make(map[Item]Tally)
+	for _, tx := range txs {
+		for _, it := range tx.items {
+			tt := totals[it]
+			tt.Add(tx.w)
+			totals[it] = tt
+		}
+	}
+	for it, tt := range totals {
+		if tt.Total() < minCount {
+			delete(totals, it)
+		}
+	}
+	t := &fpTree{
+		root:    &fpNode{},
+		headers: make(map[Item]*fpNode),
+		totals:  totals,
+		order:   order,
+	}
+	buf := make([]Item, 0, 16)
+	for _, tx := range txs {
+		buf = buf[:0]
+		for _, it := range tx.items {
+			if _, ok := totals[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		sort.Slice(buf, func(i, j int) bool {
+			ri, rj := order[buf[i]], order[buf[j]]
+			if ri != rj {
+				return ri < rj
+			}
+			return buf[i] < buf[j]
+		})
+		t.insert(buf, tx.w)
+	}
+	return t
+}
+
+// Mine implements Miner.
+func (FPGrowth) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
+	if minCount < 1 {
+		return nil, fmt.Errorf("fpm: minCount %d < 1", minCount)
+	}
+	cat := db.Catalog
+
+	// First pass: global item tallies, to fix the insertion order
+	// (descending support, ties by item id for determinism).
+	itemTally := make([]Tally, cat.NumItems())
+	for r, row := range db.Data.Rows {
+		c := db.Classes[r]
+		for a, v := range row {
+			itemTally[cat.ItemFor(a, v)][c]++
+		}
+	}
+	type rankedItem struct {
+		item  Item
+		count int64
+	}
+	ranked := make([]rankedItem, 0, cat.NumItems())
+	for i := range itemTally {
+		if cnt := itemTally[i].Total(); cnt >= minCount {
+			ranked = append(ranked, rankedItem{Item(i), cnt})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].item < ranked[j].item
+	})
+	order := make(map[Item]int, len(ranked))
+	for r, ri := range ranked {
+		order[ri.item] = r
+	}
+
+	// Build the initial tree from the dataset rows (weight = unit tally of
+	// the row's class).
+	txs := make([]weightedTx, 0, db.NumRows())
+	rowBuf := make([]Item, 0, cat.NumAttrs())
+	for r, row := range db.Data.Rows {
+		rowBuf = rowBuf[:0]
+		for a, v := range row {
+			it := cat.ItemFor(a, v)
+			if _, ok := order[it]; ok {
+				rowBuf = append(rowBuf, it)
+			}
+		}
+		var w Tally
+		w[db.Classes[r]] = 1
+		txs = append(txs, weightedTx{items: append([]Item(nil), rowBuf...), w: w})
+	}
+	tree := buildTree(txs, minCount, order)
+
+	var out []FrequentPattern
+	mineTree(tree, nil, minCount, &out)
+
+	// Canonicalize: sort items within each pattern, then sort the output
+	// for deterministic downstream consumption.
+	for i := range out {
+		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lessItemsets(out[i].Items, out[j].Items)
+	})
+	return out, nil
+}
+
+func lessItemsets(a, b Itemset) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// mineTree recursively mines an FP-tree. suffix is the pattern that
+// conditioned this tree; every frequent item in the tree extends it.
+func mineTree(t *fpTree, suffix Itemset, minCount int64, out *[]FrequentPattern) {
+	// Deterministic iteration order over header items.
+	items := make([]Item, 0, len(t.totals))
+	for it := range t.totals {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	for _, it := range items {
+		tally := t.totals[it]
+		pattern := append(suffix.Clone(), it)
+		*out = append(*out, FrequentPattern{Items: pattern, Tally: tally})
+
+		// Conditional pattern base: prefix paths of every node holding it.
+		var base []weightedTx
+		for n := t.headers[it]; n != nil; n = n.hlink {
+			var path []Item
+			for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			base = append(base, weightedTx{items: path, w: n.tally})
+		}
+		if len(base) == 0 {
+			continue
+		}
+		cond := buildTree(base, minCount, t.order)
+		if len(cond.totals) > 0 {
+			mineTree(cond, pattern, minCount, out)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package fpm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func smallDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder("color", "size", "shape")
+	for _, rec := range [][]string{
+		{"red", "S", "round"},
+		{"red", "M", "square"},
+		{"blue", "S", "round"},
+		{"blue", "M", "round"},
+		{"red", "S", "square"},
+		{"green", "L", "round"},
+	} {
+		if err := b.Add(rec...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCatalogMapping(t *testing.T) {
+	d := smallDataset(t)
+	c := NewCatalog(d)
+	if got, want := c.NumItems(), 3+3+2; got != want {
+		t.Fatalf("NumItems = %d, want %d", got, want)
+	}
+	if got := c.NumAttrs(); got != 3 {
+		t.Fatalf("NumAttrs = %d, want 3", got)
+	}
+	for i := 0; i < c.NumItems(); i++ {
+		it := Item(i)
+		a, v := c.Attr(it), c.Value(it)
+		if got := c.ItemFor(a, v); got != it {
+			t.Errorf("round trip item %d -> (%d,%d) -> %d", i, a, v, got)
+		}
+		back, err := c.ItemByName(c.Name(it))
+		if err != nil || back != it {
+			t.Errorf("name round trip for %q: %v, %v", c.Name(it), back, err)
+		}
+	}
+}
+
+func TestCatalogItemByNameErrors(t *testing.T) {
+	c := NewCatalog(smallDataset(t))
+	for _, s := range []string{"noequals", "ghost=1", "color=purple"} {
+		if _, err := c.ItemByName(s); err == nil {
+			t.Errorf("ItemByName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestItemsetByNames(t *testing.T) {
+	c := NewCatalog(smallDataset(t))
+	is, err := c.ItemsetByNames("size=S", "color=red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(is) != 2 || is[0] > is[1] {
+		t.Fatalf("ItemsetByNames = %v, want sorted pair", is)
+	}
+	if _, err := c.ItemsetByNames("color=red", "color=blue"); err == nil {
+		t.Error("duplicate attribute accepted, want error")
+	}
+}
+
+func TestItemsetKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		is := make(Itemset, len(raw))
+		for i, r := range raw {
+			is[i] = Item(r)
+		}
+		is = is.Sorted()
+		return ParseKey(is.Key()).Equal(is)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemsetOps(t *testing.T) {
+	a := Itemset{1, 3, 5}
+	if !a.Contains(3) || a.Contains(2) || a.Contains(9) {
+		t.Error("Contains misbehaves")
+	}
+	if !a.ContainsAll(Itemset{1, 5}) || a.ContainsAll(Itemset{1, 2}) {
+		t.Error("ContainsAll misbehaves")
+	}
+	if got := a.Without(3); !got.Equal(Itemset{1, 5}) {
+		t.Errorf("Without = %v", got)
+	}
+	if got := a.Without(99); !got.Equal(a) {
+		t.Errorf("Without(absent) = %v", got)
+	}
+	if got := a.Union(Itemset{2, 3}); !got.Equal(Itemset{1, 2, 3, 5}) {
+		t.Errorf("Union = %v", got)
+	}
+	empty := Itemset{}
+	if got := empty.Union(empty); len(got) != 0 {
+		t.Errorf("empty Union = %v", got)
+	}
+}
+
+func TestItemsetSubsets(t *testing.T) {
+	a := Itemset{1, 2, 3}
+	var seen []string
+	a.Subsets(func(s Itemset) { seen = append(seen, s.Clone().Key()) })
+	// Proper non-empty subsets of a 3-set: 2^3 - 2 = 6.
+	if len(seen) != 6 {
+		t.Fatalf("got %d subsets, want 6", len(seen))
+	}
+	uniq := map[string]bool{}
+	for _, k := range seen {
+		uniq[k] = true
+	}
+	if len(uniq) != 6 {
+		t.Error("duplicate subsets emitted")
+	}
+	// Singleton and empty sets: no subsets visited.
+	count := 0
+	Itemset{7}.Subsets(func(Itemset) { count++ })
+	Itemset{}.Subsets(func(Itemset) { count++ })
+	if count != 0 {
+		t.Errorf("singleton/empty visited %d subsets, want 0", count)
+	}
+}
+
+func TestRowItemsAndFormat(t *testing.T) {
+	d := smallDataset(t)
+	c := NewCatalog(d)
+	is := c.RowItems(d.Rows[0])
+	if len(is) != 3 {
+		t.Fatalf("RowItems len = %d, want 3", len(is))
+	}
+	if !sort.SliceIsSorted(is, func(i, j int) bool { return is[i] < is[j] }) {
+		t.Error("RowItems not sorted")
+	}
+	s := c.Format(is)
+	if s == "" || s == "{}" {
+		t.Errorf("Format = %q", s)
+	}
+	if got := c.Format(nil); got != "{}" {
+		t.Errorf("Format(nil) = %q, want {}", got)
+	}
+}
+
+func TestCatalogAttrs(t *testing.T) {
+	d := smallDataset(t)
+	c := NewCatalog(d)
+	is, err := c.ItemsetByNames("shape=round", "color=red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := c.Attrs(is)
+	if len(attrs) != 2 || attrs[0] != 0 || attrs[1] != 2 {
+		t.Errorf("Attrs = %v, want [0 2]", attrs)
+	}
+}
+
+func TestCatalogPanics(t *testing.T) {
+	c := NewCatalog(smallDataset(t))
+	for _, fn := range []func(){
+		func() { c.ItemFor(-1, 0) },
+		func() { c.ItemFor(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+package fpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Visitor receives one frequent pattern during a streaming mine. The
+// Items slice is owned by the callee only for the duration of the call;
+// clone it to retain it. Returning an error aborts the mine.
+type Visitor func(p FrequentPattern) error
+
+// StreamMiner is implemented by miners that can emit patterns one by one
+// without materializing the whole result — the memory-bounded path for
+// workloads like german at s = 0.01 (3.5M itemsets).
+type StreamMiner interface {
+	Miner
+	// MineVisit calls visit for every frequent pattern. Patterns arrive
+	// in mining order (not the canonical sorted order of Mine), with
+	// items within each pattern sorted ascending.
+	MineVisit(db *TxDB, minCount int64, visit Visitor) error
+}
+
+// MineVisit implements StreamMiner for FP-growth.
+func (FPGrowth) MineVisit(db *TxDB, minCount int64, visit Visitor) error {
+	if minCount < 1 {
+		return fmt.Errorf("fpm: minCount %d < 1", minCount)
+	}
+	if visit == nil {
+		return fmt.Errorf("fpm: nil visitor")
+	}
+	tree, err := buildInitialTree(db, minCount)
+	if err != nil {
+		return err
+	}
+	if len(tree.totals) == 0 {
+		return nil
+	}
+	items := make([]Item, 0, len(tree.totals))
+	for it := range tree.totals {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	buf := make(Itemset, 0, db.Catalog.NumAttrs())
+	for _, it := range items {
+		if err := visitTree(tree, it, nil, minCount, buf, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// visitTree mines the subproblem of item it within tree, with suffix
+// pattern suffix, streaming every pattern to visit.
+func visitTree(t *fpTree, it Item, suffix Itemset, minCount int64, buf Itemset, visit Visitor) error {
+	pattern := append(append(buf[:0], suffix...), it)
+	sorted := pattern.Sorted()
+	if err := visit(FrequentPattern{Items: sorted, Tally: t.totals[it]}); err != nil {
+		return err
+	}
+	var base []weightedTx
+	for n := t.headers[it]; n != nil; n = n.hlink {
+		var path []Item
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
+		}
+		if len(path) == 0 {
+			continue
+		}
+		base = append(base, weightedTx{items: path, w: n.tally})
+	}
+	if len(base) == 0 {
+		return nil
+	}
+	cond := buildTree(base, minCount, t.order)
+	if len(cond.totals) == 0 {
+		return nil
+	}
+	next := append(suffix.Clone(), it)
+	condItems := make([]Item, 0, len(cond.totals))
+	for ci := range cond.totals {
+		condItems = append(condItems, ci)
+	}
+	sort.Slice(condItems, func(i, j int) bool { return condItems[i] < condItems[j] })
+	inner := make(Itemset, 0, cap(buf))
+	for _, ci := range condItems {
+		if err := visitTree(cond, ci, next, minCount, inner, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountFrequent streams a mine and returns only the number of frequent
+// itemsets — Figure 7's quantity — in O(tree) memory instead of O(result).
+func CountFrequent(db *TxDB, minCount int64) (int64, error) {
+	var n int64
+	err := FPGrowth{}.MineVisit(db, minCount, func(FrequentPattern) error {
+		n++
+		return nil
+	})
+	return n, err
+}

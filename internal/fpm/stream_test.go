@@ -1,0 +1,95 @@
+package fpm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestMineVisitMatchesMine(t *testing.T) {
+	db := randomTxDB(t, 61, 150, 4, 3, 2)
+	for _, minCount := range []int64{1, 3, 10} {
+		want, err := FPGrowth{}.Mine(db, minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]Tally{}
+		err = FPGrowth{}.MineVisit(db, minCount, func(p FrequentPattern) error {
+			key := p.Items.Key()
+			if _, dup := got[key]; dup {
+				t.Fatalf("pattern %v visited twice", p.Items)
+			}
+			got[key] = p.Tally
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, patternsByKey(want)) {
+			t.Fatalf("minCount=%d: streamed output differs (%d vs %d patterns)",
+				minCount, len(got), len(want))
+		}
+	}
+}
+
+func TestMineVisitAbortsOnError(t *testing.T) {
+	db := smallTxDB(t)
+	sentinel := errors.New("stop")
+	count := 0
+	err := FPGrowth{}.MineVisit(db, 1, func(FrequentPattern) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if count != 3 {
+		t.Fatalf("visited %d patterns after abort, want 3", count)
+	}
+}
+
+func TestMineVisitValidation(t *testing.T) {
+	db := smallTxDB(t)
+	if err := (FPGrowth{}).MineVisit(db, 0, func(FrequentPattern) error { return nil }); err == nil {
+		t.Error("minCount=0 accepted")
+	}
+	if err := (FPGrowth{}).MineVisit(db, 1, nil); err == nil {
+		t.Error("nil visitor accepted")
+	}
+}
+
+func TestCountFrequent(t *testing.T) {
+	db := randomTxDB(t, 62, 200, 4, 3, 2)
+	for _, minCount := range []int64{1, 5, 20} {
+		want, err := FPGrowth{}.Mine(db, minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountFrequent(db, minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != int64(len(want)) {
+			t.Errorf("minCount=%d: CountFrequent = %d, want %d", minCount, got, len(want))
+		}
+	}
+}
+
+// Streaming with a threshold above every support yields nothing and no
+// error.
+func TestMineVisitEmpty(t *testing.T) {
+	db := smallTxDB(t)
+	visited := 0
+	if err := (FPGrowth{}).MineVisit(db, int64(db.NumRows()+1), func(FrequentPattern) error {
+		visited++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited != 0 {
+		t.Errorf("visited %d patterns above max support", visited)
+	}
+}

@@ -1,0 +1,259 @@
+// Package htmlreport renders a self-contained HTML report of one
+// exploration: overall rates, the most divergent patterns with
+// significance, global vs individual item divergence, corrective items,
+// and the ε-pruned summary. The output is a single document with inline
+// CSS (no external assets), suitable for emailing or archiving next to a
+// model-validation run.
+package htmlreport
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Config selects what the report contains.
+type Config struct {
+	// Title heads the report (default "DivExplorer report").
+	Title string
+	// Metrics to include (default FPR, FNR).
+	Metrics []core.Metric
+	// TopK divergent patterns per metric (default 10).
+	TopK int
+	// Epsilon for the pruned summary section; 0 disables the section.
+	Epsilon float64
+	// FDRLevel for the significance section; 0 disables the section.
+	FDRLevel float64
+	// GlobalItems caps the global-divergence bar list (default 15).
+	GlobalItems int
+}
+
+func (c *Config) setDefaults() {
+	if c.Title == "" {
+		c.Title = "DivExplorer report"
+	}
+	if len(c.Metrics) == 0 {
+		c.Metrics = []core.Metric{core.FPR, core.FNR}
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.GlobalItems <= 0 {
+		c.GlobalItems = 15
+	}
+}
+
+type patternRow struct {
+	Itemset    string
+	Support    string
+	Rate       string
+	Divergence string
+	T          string
+	BarWidth   int  // percent of the max |Δ|
+	Negative   bool // direction for coloring
+}
+
+type itemRow struct {
+	Name               string
+	Global, Individual string
+	GlobalBar, IndBar  int
+	GlobalNeg, IndNeg  bool
+}
+
+type correctiveRow struct {
+	Base, Item              string
+	BaseDiv, ExtDiv, Factor string
+	T                       string
+}
+
+type significantRow struct {
+	Itemset, Divergence, P, AdjP string
+}
+
+type metricSection struct {
+	Metric      string
+	OverallRate string
+	Patterns    []patternRow
+	Items       []itemRow
+	Corrective  []correctiveRow
+	Significant []significantRow
+	Pruned      []patternRow
+	PrunedNote  string
+}
+
+type reportData struct {
+	Title    string
+	Rows     int
+	Attrs    int
+	Patterns int
+	MinSup   string
+	Miner    string
+	Sections []metricSection
+}
+
+// Render produces the HTML report.
+func Render(res *core.Result, cfg Config) ([]byte, error) {
+	cfg.setDefaults()
+	data := reportData{
+		Title:    cfg.Title,
+		Rows:     res.DB.NumRows(),
+		Attrs:    res.DB.Catalog.NumAttrs(),
+		Patterns: res.NumPatterns(),
+		MinSup:   fmt.Sprintf("%g", res.MinSup),
+		Miner:    res.Miner,
+	}
+	for _, m := range cfg.Metrics {
+		sec := metricSection{
+			Metric:      m.Name,
+			OverallRate: f3(res.GlobalRate(m)),
+		}
+		top := res.TopK(m, cfg.TopK, core.ByAbsDivergence)
+		maxAbs := 1e-12
+		for _, rk := range top {
+			if v := math.Abs(rk.Divergence); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		for _, rk := range top {
+			sec.Patterns = append(sec.Patterns, patternRow{
+				Itemset:    res.DB.Catalog.Format(rk.Items),
+				Support:    f3(rk.Support),
+				Rate:       f3(rk.Rate),
+				Divergence: f3(rk.Divergence),
+				T:          f1(rk.T),
+				BarWidth:   int(math.Abs(rk.Divergence) / maxAbs * 100),
+				Negative:   rk.Divergence < 0,
+			})
+		}
+		cmp := res.CompareItemDivergence(m)
+		if len(cmp) > cfg.GlobalItems {
+			cmp = cmp[:cfg.GlobalItems]
+		}
+		maxItem := 1e-12
+		for _, c := range cmp {
+			for _, v := range []float64{math.Abs(c.Global), math.Abs(c.Individual)} {
+				if !math.IsNaN(v) && v > maxItem {
+					maxItem = v
+				}
+			}
+		}
+		for _, c := range cmp {
+			row := itemRow{
+				Name:      res.DB.Catalog.Name(c.Item),
+				Global:    f4(c.Global),
+				GlobalBar: barPct(c.Global, maxItem),
+				GlobalNeg: c.Global < 0,
+			}
+			if math.IsNaN(c.Individual) {
+				row.Individual = "n/a"
+			} else {
+				row.Individual = f4(c.Individual)
+				row.IndBar = barPct(c.Individual, maxItem)
+				row.IndNeg = c.Individual < 0
+			}
+			sec.Items = append(sec.Items, row)
+		}
+		for _, c := range res.TopCorrective(m, 5, 2.0) {
+			sec.Corrective = append(sec.Corrective, correctiveRow{
+				Base:    res.DB.Catalog.Format(c.Base),
+				Item:    res.DB.Catalog.Name(c.Item),
+				BaseDiv: f3(c.BaseDiv),
+				ExtDiv:  f3(c.ExtDiv),
+				Factor:  f3(c.Factor),
+				T:       f1(c.T),
+			})
+		}
+		if cfg.FDRLevel > 0 {
+			for i, s := range res.SignificantPatterns(m, cfg.FDRLevel, core.ByAbsDivergence) {
+				if i == cfg.TopK {
+					break
+				}
+				sec.Significant = append(sec.Significant, significantRow{
+					Itemset:    res.DB.Catalog.Format(s.Items),
+					Divergence: f3(s.Divergence),
+					P:          fmt.Sprintf("%.2g", s.P),
+					AdjP:       fmt.Sprintf("%.2g", s.AdjP),
+				})
+			}
+		}
+		if cfg.Epsilon > 0 {
+			pruned := res.TopKPruned(m, cfg.Epsilon, cfg.TopK, core.ByAbsDivergence)
+			for _, rk := range pruned {
+				sec.Pruned = append(sec.Pruned, patternRow{
+					Itemset:    res.DB.Catalog.Format(rk.Items),
+					Support:    f3(rk.Support),
+					Rate:       f3(rk.Rate),
+					Divergence: f3(rk.Divergence),
+					T:          f1(rk.T),
+				})
+			}
+			sec.PrunedNote = fmt.Sprintf("ε = %g keeps %d of %d itemsets",
+				cfg.Epsilon, res.PrunedCount(m, cfg.Epsilon), res.NumPatterns())
+		}
+		data.Sections = append(data.Sections, sec)
+	}
+	var buf bytes.Buffer
+	if err := reportTemplate.Execute(&buf, data); err != nil {
+		return nil, fmt.Errorf("htmlreport: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func barPct(v, max float64) int {
+	if math.IsNaN(v) || max <= 0 {
+		return 0
+	}
+	return int(math.Abs(v) / max * 100)
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string { return fmt.Sprintf("%+.4f", x) }
+
+var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1c2733; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.2rem; margin-top: 2rem; } h3 { font-size: 1rem; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0 1.5rem; font-size: .9rem; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #e2e8f0; }
+th { background: #f5f7fa; }
+.bar { display: inline-block; height: .7rem; background: #4477aa; border-radius: 2px; vertical-align: middle; }
+.bar.neg { background: #ee6677; }
+.meta { color: #5a6b7b; font-size: .9rem; }
+.num { font-variant-numeric: tabular-nums; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<p class="meta">{{.Rows}} rows · {{.Attrs}} attributes · {{.Patterns}} frequent itemsets at support ≥ {{.MinSup}} (miner: {{.Miner}})</p>
+{{range .Sections}}
+<h2>Metric {{.Metric}} <span class="meta">(overall rate {{.OverallRate}})</span></h2>
+<h3>Most divergent patterns</h3>
+<table><tr><th>Itemset</th><th>Sup</th><th>Rate</th><th>Δ</th><th>t</th><th></th></tr>
+{{range .Patterns}}<tr><td>{{.Itemset}}</td><td class="num">{{.Support}}</td><td class="num">{{.Rate}}</td><td class="num">{{.Divergence}}</td><td class="num">{{.T}}</td>
+<td><span class="bar{{if .Negative}} neg{{end}}" style="width:{{.BarWidth}}px"></span></td></tr>
+{{end}}</table>
+<h3>Global vs individual item divergence</h3>
+<table><tr><th>Item</th><th>Global Δ<sup>g</sup></th><th></th><th>Individual Δ</th><th></th></tr>
+{{range .Items}}<tr><td>{{.Name}}</td><td class="num">{{.Global}}</td>
+<td><span class="bar{{if .GlobalNeg}} neg{{end}}" style="width:{{.GlobalBar}}px"></span></td>
+<td class="num">{{.Individual}}</td>
+<td><span class="bar{{if .IndNeg}} neg{{end}}" style="width:{{.IndBar}}px"></span></td></tr>
+{{end}}</table>
+{{if .Corrective}}<h3>Corrective items</h3>
+<table><tr><th>Base pattern</th><th>Corrective item</th><th>Δ(I)</th><th>Δ(I∪α)</th><th>Factor</th><th>t</th></tr>
+{{range .Corrective}}<tr><td>{{.Base}}</td><td>{{.Item}}</td><td class="num">{{.BaseDiv}}</td><td class="num">{{.ExtDiv}}</td><td class="num">{{.Factor}}</td><td class="num">{{.T}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Significant}}<h3>FDR-significant patterns</h3>
+<table><tr><th>Itemset</th><th>Δ</th><th>p</th><th>adjusted p</th></tr>
+{{range .Significant}}<tr><td>{{.Itemset}}</td><td class="num">{{.Divergence}}</td><td class="num">{{.P}}</td><td class="num">{{.AdjP}}</td></tr>
+{{end}}</table>{{end}}
+{{if .Pruned}}<h3>Redundancy-pruned summary <span class="meta">({{.PrunedNote}})</span></h3>
+<table><tr><th>Itemset</th><th>Sup</th><th>Rate</th><th>Δ</th><th>t</th></tr>
+{{range .Pruned}}<tr><td>{{.Itemset}}</td><td class="num">{{.Support}}</td><td class="num">{{.Rate}}</td><td class="num">{{.Divergence}}</td><td class="num">{{.T}}</td></tr>
+{{end}}</table>{{end}}
+{{end}}
+</body></html>
+`))

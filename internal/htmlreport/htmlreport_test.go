@@ -1,0 +1,139 @@
+package htmlreport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+func buildResult(t testing.TB) *core.Result {
+	t.Helper()
+	b := dataset.NewBuilder("grp", "reg")
+	var truth, pred []bool
+	add := func(g, r string, tv, pv bool, n int) {
+		for i := 0; i < n; i++ {
+			if err := b.Add(g, r); err != nil {
+				t.Fatal(err)
+			}
+			truth = append(truth, tv)
+			pred = append(pred, pv)
+		}
+	}
+	add("hi", "n", false, true, 9)
+	add("hi", "n", false, false, 1)
+	add("hi", "s", false, true, 2)
+	add("hi", "s", false, false, 8)
+	add("lo", "n", false, true, 1)
+	add("lo", "n", false, false, 9)
+	add("lo", "s", true, true, 5)
+	add("lo", "s", true, false, 5)
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fpm.NewTxDB(d, classes, core.NumConfusionClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Explore(db, 0.05, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRenderBasic(t *testing.T) {
+	res := buildResult(t)
+	out, err := Render(res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(out)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "DivExplorer report", "Metric FPR", "Metric FNR",
+		"grp=hi", "Most divergent patterns", "Global vs individual",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Optional sections disabled by default.
+	if strings.Contains(html, "FDR-significant") || strings.Contains(html, "Redundancy-pruned") {
+		t.Error("optional sections rendered without being requested")
+	}
+}
+
+func TestRenderFullConfig(t *testing.T) {
+	res := buildResult(t)
+	out, err := Render(res, Config{
+		Title:    "Audit of model v7",
+		Metrics:  []core.Metric{core.FPR},
+		TopK:     5,
+		Epsilon:  0.02,
+		FDRLevel: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(out)
+	for _, want := range []string{
+		"Audit of model v7", "FDR-significant", "Redundancy-pruned", "ε = 0.02",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(html, "Metric FNR") {
+		t.Error("unrequested metric rendered")
+	}
+}
+
+func TestRenderEscapesValues(t *testing.T) {
+	// Attribute values containing HTML must be escaped by the template.
+	b := dataset.NewBuilder("x")
+	var truth, pred []bool
+	for i := 0; i < 10; i++ {
+		v := "<script>alert(1)</script>"
+		if i%2 == 0 {
+			v = "ok"
+		}
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		truth = append(truth, false)
+		pred = append(pred, i%3 == 0)
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fpm.NewTxDB(d, classes, core.NumConfusionClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Explore(db, 0.05, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "<script>alert") {
+		t.Error("unescaped attribute value in HTML output")
+	}
+	if !strings.Contains(string(out), "&lt;script&gt;") {
+		t.Error("escaped value missing entirely")
+	}
+}

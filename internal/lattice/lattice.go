@@ -1,0 +1,218 @@
+// Package lattice implements the visual itemset-lattice exploration of
+// the paper's Sec. 6.4: given a divergent pattern of interest I, it
+// materializes the lattice of all subsets of I (each a frequent itemset),
+// annotates every node with its divergence, marks nodes where a
+// corrective phenomenon occurs and nodes above a user divergence
+// threshold, and renders the result as ASCII text or Graphviz DOT.
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fpm"
+)
+
+// Node is one itemset in the lattice of subsets of the target pattern.
+type Node struct {
+	Items      fpm.Itemset
+	Support    float64
+	Divergence float64
+	// Corrective is true when some direct parent (one item fewer... one
+	// item more is the child direction; here: the node extends a parent by
+	// an item that decreased |Δ|) — i.e. the node exhibits the corrective
+	// phenomenon of Def. 4.2 with respect to at least one incoming edge.
+	Corrective bool
+	// AboveThreshold is true when |Divergence| >= the threshold passed to
+	// Build (matching the red square highlighting of Figure 11).
+	AboveThreshold bool
+	// Children holds masks of nodes obtained by adding one item.
+	Children []int
+	// Parents holds masks of nodes obtained by removing one item.
+	Parents []int
+	mask    int
+	level   int
+}
+
+// Lattice is the subset lattice of one target itemset. Nodes are indexed
+// by bitmask over the target's item positions; index 0 is the empty
+// itemset (divergence 0 by definition).
+type Lattice struct {
+	Target fpm.Itemset
+	Metric core.Metric
+	// Threshold is the divergence highlight threshold T of Sec. 6.4.
+	Threshold float64
+	Nodes     []Node // dense, indexed by subset mask
+	catalog   *fpm.Catalog
+}
+
+// Build constructs the lattice of all subsets of target, which must be a
+// frequent itemset of the result. threshold is the user-selected
+// divergence highlight level T (use 0 to highlight nothing special;
+// nodes with |Δ| >= T are flagged).
+func Build(r *core.Result, target fpm.Itemset, m core.Metric, threshold float64) (*Lattice, error) {
+	if len(target) == 0 {
+		return nil, fmt.Errorf("lattice: empty target pattern")
+	}
+	if len(target) > 16 {
+		return nil, fmt.Errorf("lattice: target pattern too long (%d items)", len(target))
+	}
+	if _, ok := r.Lookup(target); !ok {
+		return nil, fmt.Errorf("lattice: target %s is not frequent at support %v",
+			r.DB.Catalog.Format(target), r.MinSup)
+	}
+	n := len(target)
+	l := &Lattice{
+		Target:    target,
+		Metric:    m,
+		Threshold: threshold,
+		Nodes:     make([]Node, 1<<n),
+		catalog:   r.DB.Catalog,
+	}
+	buf := make(fpm.Itemset, 0, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, target[i])
+			}
+		}
+		items := buf.Clone()
+		p, ok := r.Lookup(items)
+		if !ok {
+			return nil, fmt.Errorf("lattice: subset %s missing from result",
+				r.DB.Catalog.Format(items))
+		}
+		div := 0.0
+		if mask != 0 {
+			div = r.DivergenceOfTally(p.Tally, m)
+		}
+		node := Node{
+			Items:          items,
+			Support:        r.Support(p.Tally),
+			Divergence:     div,
+			AboveThreshold: threshold > 0 && math.Abs(div) >= threshold,
+			mask:           mask,
+			level:          popcount(mask),
+		}
+		l.Nodes[mask] = node
+	}
+	// Wire edges and corrective marks.
+	for mask := 1; mask < 1<<n; mask++ {
+		node := &l.Nodes[mask]
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if mask&bit == 0 {
+				continue
+			}
+			parent := mask &^ bit
+			node.Parents = append(node.Parents, parent)
+			l.Nodes[parent].Children = append(l.Nodes[parent].Children, mask)
+			if math.Abs(node.Divergence) < math.Abs(l.Nodes[parent].Divergence) {
+				node.Corrective = true
+			}
+		}
+	}
+	return l, nil
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Levels groups node masks by itemset length, root first.
+func (l *Lattice) Levels() [][]int {
+	n := len(l.Target)
+	out := make([][]int, n+1)
+	for mask := range l.Nodes {
+		lvl := l.Nodes[mask].level
+		out[lvl] = append(out[lvl], mask)
+	}
+	for _, level := range out {
+		sort.Ints(level)
+	}
+	return out
+}
+
+// CorrectiveNodes returns the masks of all nodes flagged corrective.
+func (l *Lattice) CorrectiveNodes() []int {
+	var out []int
+	for mask := range l.Nodes {
+		if l.Nodes[mask].Corrective {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+// label renders a node's itemset compactly.
+func (l *Lattice) label(mask int) string {
+	if mask == 0 {
+		return "{}"
+	}
+	return l.catalog.Format(l.Nodes[mask].Items)
+}
+
+// ASCII renders the lattice level by level, marking corrective nodes with
+// '◇' and above-threshold nodes with '■', mirroring Figure 11's legend.
+func (l *Lattice) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lattice of %s (metric %s", l.label(len(l.Nodes)-1), l.Metric.Name)
+	if l.Threshold > 0 {
+		fmt.Fprintf(&b, ", threshold T=%.3g", l.Threshold)
+	}
+	b.WriteString(")\n")
+	for lvl, masks := range l.Levels() {
+		fmt.Fprintf(&b, "level %d:\n", lvl)
+		for _, mask := range masks {
+			n := &l.Nodes[mask]
+			marks := ""
+			if n.Corrective {
+				marks += " ◇corrective"
+			}
+			if n.AboveThreshold {
+				marks += " ■above-T"
+			}
+			fmt.Fprintf(&b, "  %-52s Δ=%+.4f sup=%.3f%s\n", l.label(mask), n.Divergence, n.Support, marks)
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the lattice as a Graphviz digraph. Corrective nodes are
+// drawn as light-blue diamonds and above-threshold nodes as red boxes,
+// matching Figure 11.
+func (l *Lattice) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph lattice {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n")
+	for mask := range l.Nodes {
+		n := &l.Nodes[mask]
+		attrs := []string{fmt.Sprintf("label=\"%s\\nΔ=%+.3f\"", escapeDOT(l.label(mask)), n.Divergence)}
+		switch {
+		case n.AboveThreshold:
+			attrs = append(attrs, "shape=box", "style=filled", "fillcolor=\"#f8d0d0\"")
+		case n.Corrective:
+			attrs = append(attrs, "shape=diamond", "style=filled", "fillcolor=\"#d0e8f8\"")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", mask, strings.Join(attrs, ", "))
+	}
+	for mask := range l.Nodes {
+		for _, child := range l.Nodes[mask].Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", mask, child)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,215 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+// buildResult plants the Fig. 11 style structure: (g=1, p=hi) is highly
+// divergent while adding q=z corrects it.
+func buildResult(t testing.TB) (*core.Result, *fpm.TxDB) {
+	t.Helper()
+	b := dataset.NewBuilder("g", "p", "q")
+	var truth, pred []bool
+	add := func(g, p, q string, nFP, nTN int) {
+		for i := 0; i < nFP; i++ {
+			if err := b.Add(g, p, q); err != nil {
+				t.Fatal(err)
+			}
+			truth = append(truth, false)
+			pred = append(pred, true)
+		}
+		for i := 0; i < nTN; i++ {
+			if err := b.Add(g, p, q); err != nil {
+				t.Fatal(err)
+			}
+			truth = append(truth, false)
+			pred = append(pred, false)
+		}
+	}
+	add("1", "hi", "z", 3, 7)
+	add("1", "hi", "w", 9, 1)
+	add("1", "lo", "z", 2, 8)
+	add("1", "lo", "w", 3, 7)
+	add("0", "hi", "z", 2, 8)
+	add("0", "hi", "w", 3, 7)
+	add("0", "lo", "z", 2, 8)
+	add("0", "lo", "w", 3, 7)
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fpm.NewTxDB(d, classes, core.NumConfusionClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Explore(db, 0.01, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, db
+}
+
+func target(t testing.TB, db *fpm.TxDB) fpm.Itemset {
+	t.Helper()
+	is, err := db.Catalog.ItemsetByNames("g=1", "p=hi", "q=z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
+func TestBuildLatticeShape(t *testing.T) {
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Nodes); got != 8 {
+		t.Fatalf("nodes = %d, want 8", got)
+	}
+	levels := l.Levels()
+	wantSizes := []int{1, 3, 3, 1}
+	for i, w := range wantSizes {
+		if len(levels[i]) != w {
+			t.Errorf("level %d has %d nodes, want %d", i, len(levels[i]), w)
+		}
+	}
+	// Root: divergence 0.
+	if l.Nodes[0].Divergence != 0 {
+		t.Errorf("root divergence = %v, want 0", l.Nodes[0].Divergence)
+	}
+	// Every node's divergence matches the core result.
+	for mask := 1; mask < len(l.Nodes); mask++ {
+		div, ok := r.Divergence(l.Nodes[mask].Items, core.FPR)
+		if !ok {
+			t.Fatalf("node %v not frequent", l.Nodes[mask].Items)
+		}
+		if div != l.Nodes[mask].Divergence {
+			t.Errorf("node %v divergence mismatch", l.Nodes[mask].Items)
+		}
+	}
+}
+
+func TestLatticeEdges(t *testing.T) {
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node at level k has k parents and (n-k) children.
+	n := len(l.Target)
+	for mask, node := range l.Nodes {
+		k := 0
+		for x := mask; x != 0; x &= x - 1 {
+			k++
+		}
+		if len(node.Parents) != k {
+			t.Errorf("node %d has %d parents, want %d", mask, len(node.Parents), k)
+		}
+		if len(node.Children) != n-k {
+			t.Errorf("node %d has %d children, want %d", mask, len(node.Children), n-k)
+		}
+	}
+}
+
+func TestLatticeCorrectiveMarks(t *testing.T) {
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full target (g=1, p=hi, q=z) extends (g=1, p=hi) — which is very
+	// divergent — with the corrective q=z, so it must be flagged.
+	full := len(l.Nodes) - 1
+	if !l.Nodes[full].Corrective {
+		t.Error("full pattern not marked corrective")
+	}
+	if got := l.CorrectiveNodes(); len(got) == 0 {
+		t.Error("no corrective nodes reported")
+	}
+}
+
+func TestLatticeThresholdHighlight(t *testing.T) {
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, node := range l.Nodes {
+		if node.AboveThreshold {
+			found = true
+			if abs(node.Divergence) < 0.15 {
+				t.Errorf("node %v flagged above threshold with Δ=%v", node.Items, node.Divergence)
+			}
+		}
+	}
+	if !found {
+		t.Error("no node above threshold; fixture should have one")
+	}
+	// Threshold 0 disables highlighting.
+	l0, err := Build(r, target(t, db), core.FPR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range l0.Nodes {
+		if node.AboveThreshold {
+			t.Error("threshold 0 flagged a node")
+		}
+	}
+}
+
+func TestLatticeRenderings(t *testing.T) {
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := l.ASCII()
+	for _, want := range []string{"level 0", "level 3", "◇corrective", "g=1"} {
+		if !strings.Contains(ascii, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, ascii)
+		}
+	}
+	dot := l.DOT()
+	for _, want := range []string{"digraph lattice", "->", "diamond"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	r, db := buildResult(t)
+	if _, err := Build(r, nil, core.FPR, 0); err == nil {
+		t.Error("empty target accepted")
+	}
+	long := make(fpm.Itemset, 20)
+	if _, err := Build(r, long, core.FPR, 0); err == nil {
+		t.Error("oversized target accepted")
+	}
+	// An infrequent target must fail: raise the support threshold.
+	rHigh, err := core.Explore(db, 0.6, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(rHigh, target(t, db), core.FPR, 0); err == nil {
+		t.Error("infrequent target accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

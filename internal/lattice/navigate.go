@@ -1,0 +1,100 @@
+package lattice
+
+import (
+	"math"
+
+	"repro/internal/fpm"
+)
+
+// Navigation helpers for the interactive exploration of Sec. 6.4: find a
+// node by itemset, walk the steepest-divergence path from the root to
+// the target, and enumerate corrective edges.
+
+// Node returns the lattice node for a subset of the target, if present.
+func (l *Lattice) Node(items fpm.Itemset) (*Node, bool) {
+	sorted := items.Sorted()
+	mask := 0
+	for _, it := range sorted {
+		found := false
+		for pos, t := range l.Target {
+			if t == it {
+				mask |= 1 << pos
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return &l.Nodes[mask], true
+}
+
+// SteepestPath walks from the empty itemset to the full target, at each
+// level adding the item that maximizes |Δ| of the resulting node — the
+// "items driving divergence increases" view the lattice visualization
+// supports. The returned slice contains the node masks along the path,
+// root first, target last.
+func (l *Lattice) SteepestPath() []int {
+	n := len(l.Target)
+	full := (1 << n) - 1
+	path := []int{0}
+	mask := 0
+	for mask != full {
+		best, bestVal := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if mask&bit != 0 {
+				continue
+			}
+			cand := mask | bit
+			if v := math.Abs(l.Nodes[cand].Divergence); v > bestVal {
+				best, bestVal = cand, v
+			}
+		}
+		mask = best
+		path = append(path, mask)
+	}
+	return path
+}
+
+// CorrectiveEdge is one lattice edge along which the absolute divergence
+// decreases: adding Item to the parent's itemset corrects it.
+type CorrectiveEdge struct {
+	ParentMask, ChildMask int
+	Item                  fpm.Item
+	// Factor is |Δ(parent)| − |Δ(child)|, always positive.
+	Factor float64
+}
+
+// CorrectiveEdges enumerates all corrective edges, strongest first.
+func (l *Lattice) CorrectiveEdges() []CorrectiveEdge {
+	n := len(l.Target)
+	var out []CorrectiveEdge
+	for mask := 1; mask < len(l.Nodes); mask++ {
+		child := &l.Nodes[mask]
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if mask&bit == 0 {
+				continue
+			}
+			parent := &l.Nodes[mask&^bit]
+			factor := math.Abs(parent.Divergence) - math.Abs(child.Divergence)
+			if factor > 0 {
+				out = append(out, CorrectiveEdge{
+					ParentMask: mask &^ bit,
+					ChildMask:  mask,
+					Item:       l.Target[i],
+					Factor:     factor,
+				})
+			}
+		}
+	}
+	// Insertion sort by decreasing factor (lattices are tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Factor > out[j-1].Factor; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

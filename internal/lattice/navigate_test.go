@@ -1,0 +1,119 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func buildLattice(t testing.TB) (*Lattice, *core.Result) {
+	t.Helper()
+	r, db := buildResult(t)
+	l, err := Build(r, target(t, db), core.FPR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, r
+}
+
+func TestNodeLookup(t *testing.T) {
+	l, r := buildLattice(t)
+	db := r.DB
+	is, err := db.Catalog.ItemsetByNames("g=1", "p=hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := l.Node(is)
+	if !ok {
+		t.Fatal("node not found")
+	}
+	if !node.Items.Equal(is.Sorted()) {
+		t.Errorf("node items = %v, want %v", node.Items, is)
+	}
+	// Empty itemset -> root.
+	root, ok := l.Node(nil)
+	if !ok || len(root.Items) != 0 {
+		t.Error("root lookup failed")
+	}
+	// Item outside the target.
+	out, err := db.Catalog.ItemsetByNames("q=w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Node(out); ok {
+		t.Error("foreign item resolved to a node")
+	}
+}
+
+func TestSteepestPath(t *testing.T) {
+	l, _ := buildLattice(t)
+	path := l.SteepestPath()
+	if len(path) != len(l.Target)+1 {
+		t.Fatalf("path length = %d, want %d", len(path), len(l.Target)+1)
+	}
+	if path[0] != 0 {
+		t.Error("path does not start at root")
+	}
+	if path[len(path)-1] != len(l.Nodes)-1 {
+		t.Error("path does not end at the target")
+	}
+	// Each step adds exactly one item.
+	for i := 1; i < len(path); i++ {
+		diff := path[i] &^ path[i-1]
+		if path[i-1]&^path[i] != 0 || diff == 0 || diff&(diff-1) != 0 {
+			t.Errorf("step %d is not a single-item extension", i)
+		}
+	}
+	// Greedy optimality of the first step: no single item has larger |Δ|.
+	first := math.Abs(l.Nodes[path[1]].Divergence)
+	for i := 0; i < len(l.Target); i++ {
+		if v := math.Abs(l.Nodes[1<<i].Divergence); v > first+1e-12 {
+			t.Errorf("first step |Δ|=%v not maximal (item %d has %v)", first, i, v)
+		}
+	}
+}
+
+func TestCorrectiveEdges(t *testing.T) {
+	l, _ := buildLattice(t)
+	edges := l.CorrectiveEdges()
+	if len(edges) == 0 {
+		t.Fatal("no corrective edges in a fixture with a planted correction")
+	}
+	for i, e := range edges {
+		if e.Factor <= 0 {
+			t.Errorf("edge %d has non-positive factor", i)
+		}
+		parent := l.Nodes[e.ParentMask]
+		child := l.Nodes[e.ChildMask]
+		if got := math.Abs(parent.Divergence) - math.Abs(child.Divergence); !almostEq(got, e.Factor) {
+			t.Errorf("edge %d factor mismatch: %v vs %v", i, got, e.Factor)
+		}
+		// Item is the difference between the masks.
+		bit := e.ChildMask &^ e.ParentMask
+		pos := 0
+		for bit>>1 != 0 {
+			bit >>= 1
+			pos++
+		}
+		if l.Target[pos] != e.Item {
+			t.Errorf("edge %d item mismatch", i)
+		}
+		if i > 0 && edges[i-1].Factor < e.Factor {
+			t.Error("edges not sorted by factor")
+		}
+	}
+	// Every corrective-marked node has at least one incoming corrective
+	// edge.
+	hasEdge := map[int]bool{}
+	for _, e := range edges {
+		hasEdge[e.ChildMask] = true
+	}
+	for _, mask := range l.CorrectiveNodes() {
+		if !hasEdge[mask] {
+			t.Errorf("corrective node %d lacks a corrective edge", mask)
+		}
+	}
+}
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }

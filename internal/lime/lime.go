@@ -1,0 +1,192 @@
+// Package lime implements the LIME baseline (Ribeiro, Singh, Guestrin —
+// KDD'16) used in the paper's user study (Sec. 6.6): local, model-
+// agnostic explanations of individual predictions. For a tabular
+// instance, LIME samples perturbations in an interpretable binary space
+// (keep vs. resample each attribute), queries the black-box model on the
+// perturbed instances, and fits a weighted ridge surrogate whose
+// coefficients are the per-attribute explanation weights.
+package lime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the explainer. Zero values select the usual LIME
+// defaults scaled for small categorical datasets.
+type Config struct {
+	// Samples is the number of perturbed instances per explanation
+	// (default 1000).
+	Samples int
+	// KernelWidth is the exponential-kernel width over the normalized
+	// Hamming distance (default 0.75, LIME's default scaling).
+	KernelWidth float64
+	// Lambda is the ridge penalty of the surrogate fit (default 1e-3).
+	Lambda float64
+	// Seed drives perturbation sampling.
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Samples <= 0 {
+		c.Samples = 1000
+	}
+	if c.KernelWidth <= 0 {
+		c.KernelWidth = 0.75
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-3
+	}
+}
+
+// FeatureWeight is one attribute's contribution to a prediction: positive
+// weights push the model toward the positive class for this instance's
+// value of the attribute.
+type FeatureWeight struct {
+	Attr   int
+	Name   string // "attr=value" of the explained instance
+	Weight float64
+}
+
+// Explanation is the ranked surrogate weights for one instance.
+type Explanation struct {
+	Features  []FeatureWeight // sorted by decreasing |Weight|
+	Intercept float64
+	Row       []int32
+}
+
+// Explainer explains predictions of a black-box probability function over
+// a dataset's schema.
+type Explainer struct {
+	d       *dataset.Dataset
+	proba   func(row []int32) float64
+	cfg     Config
+	rng     *rand.Rand
+	domains [][]int32 // observed value codes per attribute (for resampling)
+}
+
+// New builds an explainer. proba must return the model's positive-class
+// probability (or score in [0,1]) for a value-coded row.
+func New(d *dataset.Dataset, proba func(row []int32) float64, cfg Config) (*Explainer, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if proba == nil {
+		return nil, fmt.Errorf("lime: nil probability function")
+	}
+	cfg.setDefaults()
+	e := &Explainer{
+		d:       d,
+		proba:   proba,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		domains: make([][]int32, d.NumAttrs()),
+	}
+	// Empirical marginals: resample from the actual column values so
+	// perturbations stay on-distribution.
+	for a := 0; a < d.NumAttrs(); a++ {
+		e.domains[a] = d.ColumnCodes(a)
+	}
+	return e, nil
+}
+
+// Explain produces the LIME explanation for one value-coded row.
+func (e *Explainer) Explain(row []int32) (Explanation, error) {
+	nAttrs := e.d.NumAttrs()
+	if len(row) != nAttrs {
+		return Explanation{}, fmt.Errorf("lime: row has %d values, schema has %d", len(row), nAttrs)
+	}
+	xs := make([][]float64, e.cfg.Samples)
+	ys := make([]float64, e.cfg.Samples)
+	ws := make([]float64, e.cfg.Samples)
+	perturbed := make([]int32, nAttrs)
+	for s := 0; s < e.cfg.Samples; s++ {
+		z := make([]float64, nAttrs)
+		copy(perturbed, row)
+		changed := 0
+		if s == 0 {
+			// Always include the unperturbed instance.
+			for a := range z {
+				z[a] = 1
+			}
+		} else {
+			for a := 0; a < nAttrs; a++ {
+				if e.rng.Intn(2) == 0 {
+					z[a] = 1
+					continue
+				}
+				// Resample this attribute from its empirical marginal; the
+				// draw may coincide with the original value, which still
+				// counts as "kept" in the interpretable representation.
+				col := e.domains[a]
+				v := col[e.rng.Intn(len(col))]
+				perturbed[a] = v
+				if v == row[a] {
+					z[a] = 1
+				} else {
+					changed++
+				}
+			}
+		}
+		dist := float64(changed) / float64(nAttrs)
+		ws[s] = math.Exp(-dist * dist / (e.cfg.KernelWidth * e.cfg.KernelWidth))
+		xs[s] = z
+		ys[s] = e.proba(perturbed)
+		copy(perturbed, row)
+	}
+	beta, err := stats.RidgeRegression(xs, ys, ws, e.cfg.Lambda)
+	if err != nil {
+		return Explanation{}, fmt.Errorf("lime: surrogate fit: %w", err)
+	}
+	out := Explanation{
+		Features:  make([]FeatureWeight, nAttrs),
+		Intercept: beta[nAttrs],
+		Row:       append([]int32(nil), row...),
+	}
+	for a := 0; a < nAttrs; a++ {
+		out.Features[a] = FeatureWeight{
+			Attr:   a,
+			Name:   e.d.Attrs[a].Name + "=" + e.d.Attrs[a].Values[row[a]],
+			Weight: beta[a],
+		}
+	}
+	sort.Slice(out.Features, func(i, j int) bool {
+		wi, wj := math.Abs(out.Features[i].Weight), math.Abs(out.Features[j].Weight)
+		if wi != wj {
+			return wi > wj
+		}
+		return out.Features[i].Attr < out.Features[j].Attr
+	})
+	return out, nil
+}
+
+// AggregateWeights sums |weight| per feature name over many explanations
+// — the way a user study participant scans a stack of LIME outputs for
+// recurring influential attribute values. Returns names sorted by
+// decreasing total weight.
+func AggregateWeights(explanations []Explanation) []FeatureWeight {
+	totals := map[string]float64{}
+	attrs := map[string]int{}
+	for _, ex := range explanations {
+		for _, f := range ex.Features {
+			totals[f.Name] += math.Abs(f.Weight)
+			attrs[f.Name] = f.Attr
+		}
+	}
+	out := make([]FeatureWeight, 0, len(totals))
+	for name, w := range totals {
+		out = append(out, FeatureWeight{Attr: attrs[name], Name: name, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

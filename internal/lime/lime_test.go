@@ -1,0 +1,162 @@
+package lime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// buildData builds a dataset over three attributes where only "key"
+// matters to the model under test.
+func buildData(t testing.TB, n int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("key", "noise1", "noise2")
+	for i := 0; i < n; i++ {
+		if err := b.Add(
+			fmt.Sprint(rng.Intn(2)),
+			fmt.Sprint(rng.Intn(3)),
+			fmt.Sprint(rng.Intn(4)),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExplainIdentifiesDecisiveFeature(t *testing.T) {
+	d := buildData(t, 300, 1)
+	keyIdx := d.AttrIndex("key")
+	oneCode := int32(d.Attrs[keyIdx].ValueCode("1"))
+	model := func(row []int32) float64 {
+		if row[keyIdx] == oneCode {
+			return 0.95
+		}
+		return 0.05
+	}
+	e, err := New(d, model, Config{Samples: 600, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explain an instance with key=1: the key feature must dominate with
+	// a positive weight.
+	var row []int32
+	for r := range d.Rows {
+		if d.Rows[r][keyIdx] == oneCode {
+			row = d.Rows[r]
+			break
+		}
+	}
+	ex, err := e.Explain(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Features[0].Name; got != "key=1" {
+		t.Errorf("top feature = %s, want key=1 (weights %v)", got, ex.Features)
+	}
+	if ex.Features[0].Weight <= 0 {
+		t.Errorf("key=1 weight = %v, want positive", ex.Features[0].Weight)
+	}
+	// Noise features carry much smaller weight.
+	if math.Abs(ex.Features[1].Weight) > 0.3*ex.Features[0].Weight {
+		t.Errorf("noise weight %v too close to key weight %v",
+			ex.Features[1].Weight, ex.Features[0].Weight)
+	}
+}
+
+func TestExplainNegativeDirection(t *testing.T) {
+	d := buildData(t, 300, 2)
+	keyIdx := d.AttrIndex("key")
+	zeroCode := int32(d.Attrs[keyIdx].ValueCode("0"))
+	model := func(row []int32) float64 {
+		if row[keyIdx] == zeroCode {
+			return 0.9
+		}
+		return 0.1
+	}
+	e, err := New(d, model, Config{Samples: 600, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explain an instance with key=1 under a model that rewards key=0:
+	// weight for key=1 must be negative.
+	var row []int32
+	for r := range d.Rows {
+		if d.Rows[r][keyIdx] != zeroCode {
+			row = d.Rows[r]
+			break
+		}
+	}
+	ex, err := e.Explain(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Features[0].Name != "key=1" || ex.Features[0].Weight >= 0 {
+		t.Errorf("expected dominant negative weight for key=1, got %v", ex.Features[0])
+	}
+}
+
+func TestExplainerValidation(t *testing.T) {
+	d := buildData(t, 10, 3)
+	if _, err := New(d, nil, Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	e, err := New(d, func([]int32) float64 { return 0.5 }, Config{Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Explain([]int32{0}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestExplainDeterministicGivenSeed(t *testing.T) {
+	d := buildData(t, 100, 4)
+	model := func(row []int32) float64 { return float64(row[0]) }
+	run := func() Explanation {
+		e, err := New(d, model, Config{Samples: 200, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := e.Explain(d.Rows[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+	a, b := run(), run()
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			t.Fatalf("same-seed explanations differ at %d", i)
+		}
+	}
+}
+
+func TestAggregateWeights(t *testing.T) {
+	exps := []Explanation{
+		{Features: []FeatureWeight{{Attr: 0, Name: "x=1", Weight: 0.5}, {Attr: 1, Name: "y=0", Weight: -0.2}}},
+		{Features: []FeatureWeight{{Attr: 0, Name: "x=1", Weight: 0.4}, {Attr: 1, Name: "y=1", Weight: 0.1}}},
+	}
+	agg := AggregateWeights(exps)
+	if agg[0].Name != "x=1" || !almost(agg[0].Weight, 0.9) {
+		t.Errorf("top aggregate = %v, want x=1 with 0.9", agg[0])
+	}
+	// Absolute values are summed.
+	for _, f := range agg {
+		if f.Name == "y=0" && !almost(f.Weight, 0.2) {
+			t.Errorf("y=0 aggregate = %v, want 0.2", f.Weight)
+		}
+	}
+	if got := AggregateWeights(nil); len(got) != 0 {
+		t.Errorf("empty aggregate = %v", got)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

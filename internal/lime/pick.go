@@ -1,0 +1,86 @@
+package lime
+
+import (
+	"math"
+	"sort"
+)
+
+// SubmodularPick selects k explanations that together cover the most
+// important features with minimal redundancy — the SP-LIME procedure of
+// the original paper (Ribeiro et al., KDD'16, Sec. 3.4). Feature
+// importance I_j is the square root of the summed absolute weights of
+// feature j across all explanations; the greedy pick maximizes the
+// coverage Σ_{j covered} I_j, which is monotone submodular, so the
+// greedy solution is within (1−1/e) of optimal.
+//
+// Returned indexes refer to the input slice, in pick order. k larger
+// than the input is truncated.
+func SubmodularPick(explanations []Explanation, k int) []int {
+	if k <= 0 || len(explanations) == 0 {
+		return nil
+	}
+	if k > len(explanations) {
+		k = len(explanations)
+	}
+	// Global feature importances.
+	importance := map[string]float64{}
+	for _, ex := range explanations {
+		for _, f := range ex.Features {
+			importance[f.Name] += math.Abs(f.Weight)
+		}
+	}
+	for name, v := range importance {
+		importance[name] = math.Sqrt(v)
+	}
+	// Features "used" by an explanation: nonzero-weight entries.
+	features := make([][]string, len(explanations))
+	for i, ex := range explanations {
+		for _, f := range ex.Features {
+			if f.Weight != 0 {
+				features[i] = append(features[i], f.Name)
+			}
+		}
+	}
+	covered := map[string]bool{}
+	picked := make([]int, 0, k)
+	taken := make([]bool, len(explanations))
+	for len(picked) < k {
+		best, bestGain := -1, -1.0
+		for i := range explanations {
+			if taken[i] {
+				continue
+			}
+			gain := 0.0
+			for _, name := range features[i] {
+				if !covered[name] {
+					gain += importance[name]
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		picked = append(picked, best)
+		for _, name := range features[best] {
+			covered[name] = true
+		}
+	}
+	return picked
+}
+
+// TopFeatures trims an explanation to its k strongest features (by
+// absolute weight), the form SP-LIME presents to users.
+func TopFeatures(ex Explanation, k int) []FeatureWeight {
+	fs := append([]FeatureWeight(nil), ex.Features...)
+	sort.Slice(fs, func(i, j int) bool {
+		return math.Abs(fs[i].Weight) > math.Abs(fs[j].Weight)
+	})
+	if k < len(fs) {
+		fs = fs[:k]
+	}
+	return fs
+}

@@ -1,0 +1,75 @@
+package lime
+
+import "testing"
+
+func mkExp(weights map[string]float64) Explanation {
+	var ex Explanation
+	attr := 0
+	for name, w := range weights {
+		ex.Features = append(ex.Features, FeatureWeight{Attr: attr, Name: name, Weight: w})
+		attr++
+	}
+	return ex
+}
+
+func TestSubmodularPickPrefersCoverage(t *testing.T) {
+	exps := []Explanation{
+		mkExp(map[string]float64{"a=1": 0.9}),              // 0: covers a only
+		mkExp(map[string]float64{"a=1": 0.8, "b=1": 0.7}),  // 1: covers a and b
+		mkExp(map[string]float64{"a=1": 0.85, "b=1": 0.6}), // 2: redundant with 1
+		mkExp(map[string]float64{"c=1": 0.2}),              // 3: covers c only
+	}
+	picked := SubmodularPick(exps, 2)
+	if len(picked) != 2 {
+		t.Fatalf("picked %d, want 2", len(picked))
+	}
+	// First pick: the widest coverage (explanation 1).
+	if picked[0] != 1 {
+		t.Errorf("first pick = %d, want 1", picked[0])
+	}
+	// Second pick: c is the only uncovered feature, so explanation 3
+	// beats the redundant 0 and 2 despite their larger weights.
+	if picked[1] != 3 {
+		t.Errorf("second pick = %d, want 3 (novel coverage)", picked[1])
+	}
+}
+
+func TestSubmodularPickEdges(t *testing.T) {
+	if got := SubmodularPick(nil, 3); got != nil {
+		t.Errorf("pick on empty = %v", got)
+	}
+	exps := []Explanation{mkExp(map[string]float64{"a=1": 1})}
+	if got := SubmodularPick(exps, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	got := SubmodularPick(exps, 5)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("k>n = %v", got)
+	}
+	// No duplicates for larger k.
+	exps = append(exps, mkExp(map[string]float64{"b=1": 1}), mkExp(map[string]float64{"c=1": 1}))
+	got = SubmodularPick(exps, 3)
+	seen := map[int]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Fatal("duplicate pick")
+		}
+		seen[i] = true
+	}
+}
+
+func TestTopFeatures(t *testing.T) {
+	ex := mkExp(map[string]float64{"a=1": 0.1, "b=1": -0.9, "c=1": 0.5})
+	top := TopFeatures(ex, 2)
+	if len(top) != 2 || top[0].Name != "b=1" || top[1].Name != "c=1" {
+		t.Errorf("TopFeatures = %v", top)
+	}
+	// Input order preserved in the original explanation.
+	if len(ex.Features) != 3 {
+		t.Error("TopFeatures mutated the explanation")
+	}
+	all := TopFeatures(ex, 10)
+	if len(all) != 3 {
+		t.Errorf("k>len = %d features", len(all))
+	}
+}

@@ -1,0 +1,175 @@
+// Package report renders experiment output: fixed-width text tables
+// (mirroring the paper's tables) and horizontal ASCII bar charts
+// (mirroring its figures), plus small formatting helpers shared by the
+// CLI and the experiments runner.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-runeLen(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+// FormatFloat renders floats compactly with three decimals, trimming
+// trailing zeros but keeping at least one decimal digit.
+func FormatFloat(x float64) string {
+	if math.IsNaN(x) {
+		return "NaN"
+	}
+	if math.IsInf(x, 0) {
+		if x > 0 {
+			return "+Inf"
+		}
+		return "-Inf"
+	}
+	s := fmt.Sprintf("%.3f", x)
+	for strings.HasSuffix(s, "0") && !strings.HasSuffix(s, ".0") {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// BarChart renders labelled horizontal bars scaled to a shared maximum —
+// the textual analogue of the paper's bar figures. Negative values grow
+// leftward from the axis.
+type BarChart struct {
+	Title string
+	Width int // bar area width in characters (default 40)
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 40} }
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) { c.bars = append(c.bars, bar{label, value}) }
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	maxAbs := 0.0
+	hasNeg := false
+	for _, b := range c.bars {
+		if runeLen(b.label) > labelW {
+			labelW = runeLen(b.label)
+		}
+		if math.Abs(b.value) > maxAbs {
+			maxAbs = math.Abs(b.value)
+		}
+		if b.value < 0 {
+			hasNeg = true
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteString("\n")
+	}
+	for _, b := range c.bars {
+		n := 0
+		if maxAbs > 0 {
+			n = int(math.Round(math.Abs(b.value) / maxAbs * float64(width)))
+		}
+		pad := strings.Repeat(" ", labelW-runeLen(b.label))
+		if hasNeg {
+			left := strings.Repeat(" ", width)
+			if b.value < 0 {
+				left = strings.Repeat(" ", width-n) + strings.Repeat("▒", n)
+			}
+			right := ""
+			if b.value >= 0 {
+				right = strings.Repeat("█", n)
+			}
+			fmt.Fprintf(&sb, "%s%s %s|%-*s %+.4f\n", b.label, pad, left, width, right, b.value)
+		} else {
+			fmt.Fprintf(&sb, "%s%s %-*s %.4f\n", b.label, pad, width, strings.Repeat("█", n), b.value)
+		}
+	}
+	return sb.String()
+}
+
+// Section renders a titled separator for multi-part reports.
+func Section(title string) string {
+	line := strings.Repeat("=", runeLen(title)+4)
+	return fmt.Sprintf("%s\n| %s |\n%s\n", line, title, line)
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "Itemset", "Sup", "Δ")
+	tbl.AddRow("a=1, b=2", 0.125, 0.3456789)
+	tbl.AddRow("c=3", 0.5, -0.01)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+	s := tbl.String()
+	for _, want := range []string{"Demo", "Itemset", "a=1, b=2", "0.346", "-0.01", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	// Columns aligned: header row and data rows have matching widths.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0.5:      "0.5",
+		0.346:    "0.346",
+		1:        "1.0",
+		-0.01:    "-0.01",
+		0.100001: "0.1",
+	}
+	for x, want := range cases {
+		if got := FormatFloat(x); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", x, got, want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("NaN = %q", got)
+	}
+	if got := FormatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("+Inf = %q", got)
+	}
+	if got := FormatFloat(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("-Inf = %q", got)
+	}
+}
+
+func TestBarChartPositive(t *testing.T) {
+	c := NewBarChart("bars")
+	c.Add("alpha", 1.0)
+	c.Add("beta", 0.5)
+	s := c.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), s)
+	}
+	alphaBars := strings.Count(lines[1], "█")
+	betaBars := strings.Count(lines[2], "█")
+	if alphaBars != 40 {
+		t.Errorf("alpha bar = %d chars, want 40 (full width)", alphaBars)
+	}
+	if betaBars != 20 {
+		t.Errorf("beta bar = %d chars, want 20 (half width)", betaBars)
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	c := NewBarChart("")
+	c.Add("up", 0.4)
+	c.Add("down", -0.4)
+	s := c.String()
+	if !strings.Contains(s, "▒") {
+		t.Errorf("negative bar glyph missing:\n%s", s)
+	}
+	if !strings.Contains(s, "|") {
+		t.Errorf("axis missing in diverging chart:\n%s", s)
+	}
+	if !strings.Contains(s, "+0.4000") || !strings.Contains(s, "-0.4000") {
+		t.Errorf("signed values missing:\n%s", s)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("z")
+	c.Add("x", 0)
+	s := c.String()
+	if strings.Count(s, "█") != 0 {
+		t.Errorf("zero-value chart drew bars:\n%s", s)
+	}
+}
+
+func TestSection(t *testing.T) {
+	s := Section("Table 2")
+	if !strings.Contains(s, "| Table 2 |") {
+		t.Errorf("Section = %q", s)
+	}
+}

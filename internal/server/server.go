@@ -1,0 +1,341 @@
+// Package server exposes DivExplorer over HTTP: clients POST a CSV with
+// ground-truth and prediction columns and receive the divergence
+// analysis as JSON, CSV or a self-contained HTML report. The server is
+// stateless — every request carries its own data — and is built entirely
+// on net/http.
+//
+// Endpoints:
+//
+//	GET  /            an HTML form for interactive use
+//	GET  /healthz     liveness probe
+//	POST /analyze     body: the CSV; query parameters:
+//	    truth    ground-truth column name (default "truth")
+//	    pred     prediction column name (default "pred")
+//	    support  minimum support threshold (default 0.05)
+//	    metric   comma-separated metric names (default "FPR,FNR")
+//	    topk     patterns per metric (default 10)
+//	    eps      redundancy-pruning threshold (optional)
+//	    alpha    FDR level for the significance section (optional)
+//	    format   "json" (default), "html" or "csv"
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+	"repro/internal/htmlreport"
+)
+
+// MaxBodyBytes bounds uploaded CSV size (32 MiB).
+const MaxBodyBytes = 32 << 20
+
+// Handler returns the http.Handler serving the API.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /", handleIndex)
+	mux.HandleFunc("POST /analyze", handleAnalyze)
+	return mux
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, indexHTML)
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>DivExplorer</title></head>
+<body style="font-family: system-ui; max-width: 40rem; margin: 3rem auto">
+<h1>DivExplorer</h1>
+<p>POST a CSV to <code>/analyze?truth=&lt;col&gt;&amp;pred=&lt;col&gt;&amp;support=0.05&amp;format=html</code>.</p>
+<pre>curl --data-binary @data.csv 'http://HOST/analyze?truth=label&amp;pred=predicted&amp;format=html'</pre>
+</body></html>
+`
+
+// analysisRequest carries the parsed query parameters.
+type analysisRequest struct {
+	truthCol, predCol string
+	support           float64
+	metrics           []core.Metric
+	topK              int
+	eps               float64
+	alpha             float64
+	format            string
+}
+
+func parseRequest(r *http.Request) (analysisRequest, error) {
+	q := r.URL.Query()
+	req := analysisRequest{
+		truthCol: orDefault(q.Get("truth"), "truth"),
+		predCol:  orDefault(q.Get("pred"), "pred"),
+		support:  0.05,
+		topK:     10,
+		format:   orDefault(q.Get("format"), "json"),
+	}
+	if s := q.Get("support"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v > 1 {
+			return req, fmt.Errorf("bad support %q", s)
+		}
+		req.support = v
+	}
+	if s := q.Get("topk"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return req, fmt.Errorf("bad topk %q", s)
+		}
+		req.topK = v
+	}
+	if s := q.Get("eps"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return req, fmt.Errorf("bad eps %q", s)
+		}
+		req.eps = v
+	}
+	if s := q.Get("alpha"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return req, fmt.Errorf("bad alpha %q", s)
+		}
+		req.alpha = v
+	}
+	names := orDefault(q.Get("metric"), "FPR,FNR")
+	for _, n := range strings.Split(names, ",") {
+		m, err := core.MetricByName(strings.TrimSpace(n))
+		if err != nil {
+			return req, err
+		}
+		req.metrics = append(req.metrics, m)
+	}
+	switch req.format {
+	case "json", "html", "csv":
+	default:
+		return req, fmt.Errorf("bad format %q (want json, html or csv)", req.format)
+	}
+	return req, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// JSON response shapes.
+
+type patternJSON struct {
+	Itemset    []string `json:"itemset"`
+	Support    float64  `json:"support"`
+	Rate       float64  `json:"rate"`
+	Divergence float64  `json:"divergence"`
+	T          float64  `json:"t"`
+	PValue     float64  `json:"p_value"`
+}
+
+type itemJSON struct {
+	Item       string  `json:"item"`
+	Global     float64 `json:"global_divergence"`
+	Individual float64 `json:"individual_divergence"`
+}
+
+type correctiveJSON struct {
+	Base   []string `json:"base"`
+	Item   string   `json:"item"`
+	Factor float64  `json:"factor"`
+	T      float64  `json:"t"`
+}
+
+type metricJSON struct {
+	Metric      string           `json:"metric"`
+	OverallRate float64          `json:"overall_rate"`
+	Top         []patternJSON    `json:"top_divergent"`
+	Pruned      []patternJSON    `json:"pruned_top,omitempty"`
+	Significant []patternJSON    `json:"significant,omitempty"`
+	Items       []itemJSON       `json:"items"`
+	Corrective  []correctiveJSON `json:"corrective"`
+}
+
+type responseJSON struct {
+	Rows     int          `json:"rows"`
+	Attrs    int          `json:"attributes"`
+	Patterns int          `json:"frequent_itemsets"`
+	Support  float64      `json:"min_support"`
+	Metrics  []metricJSON `json:"metrics"`
+}
+
+func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	data, err := dataset.ReadCSV(body, dataset.CSVOptions{TrimSpace: true})
+	if err != nil {
+		http.Error(w, "parsing CSV: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	truth, pred, data, err := extractLabels(data, req.truthCol, req.predCol)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	db, err := fpm.NewTxDB(data, classes, core.NumConfusionClasses)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := core.Explore(db, req.support, core.Options{})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	switch req.format {
+	case "html":
+		out, err := htmlreport.Render(res, htmlreport.Config{
+			Metrics:  req.metrics,
+			TopK:     req.topK,
+			Epsilon:  req.eps,
+			FDRLevel: req.alpha,
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(out)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteCSV(w, req.metrics[0], core.ByDivergence); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(buildJSON(res, req)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// extractLabels pulls and removes the Boolean label columns.
+func extractLabels(d *dataset.Dataset, truthCol, predCol string) (truth, pred []bool, out *dataset.Dataset, err error) {
+	parse := func(col string) ([]bool, error) {
+		idx := d.AttrIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown column %q", col)
+		}
+		vals := make([]bool, d.NumRows())
+		for r := range d.Rows {
+			switch strings.ToLower(d.Value(r, idx)) {
+			case "1", "true", "t", "yes", "y":
+				vals[r] = true
+			case "0", "false", "f", "no", "n":
+				vals[r] = false
+			default:
+				return nil, fmt.Errorf("row %d: column %q value %q is not Boolean",
+					r, col, d.Value(r, idx))
+			}
+		}
+		return vals, nil
+	}
+	if truth, err = parse(truthCol); err != nil {
+		return nil, nil, nil, err
+	}
+	if pred, err = parse(predCol); err != nil {
+		return nil, nil, nil, err
+	}
+	out, err = d.DropAttrs(truthCol, predCol)
+	return truth, pred, out, err
+}
+
+func buildJSON(res *core.Result, req analysisRequest) responseJSON {
+	resp := responseJSON{
+		Rows:     res.DB.NumRows(),
+		Attrs:    res.DB.Catalog.NumAttrs(),
+		Patterns: res.NumPatterns(),
+		Support:  res.MinSup,
+	}
+	for _, m := range req.metrics {
+		mj := metricJSON{Metric: m.Name, OverallRate: res.GlobalRate(m)}
+		toJSON := func(rk core.Ranked) patternJSON {
+			return patternJSON{
+				Itemset:    itemNames(res, rk.Items),
+				Support:    rk.Support,
+				Rate:       rk.Rate,
+				Divergence: rk.Divergence,
+				T:          rk.T,
+				PValue:     res.PValue(rk.Tally, m),
+			}
+		}
+		for _, rk := range res.TopK(m, req.topK, core.ByAbsDivergence) {
+			mj.Top = append(mj.Top, toJSON(rk))
+		}
+		if req.eps > 0 {
+			for _, rk := range res.TopKPruned(m, req.eps, req.topK, core.ByAbsDivergence) {
+				mj.Pruned = append(mj.Pruned, toJSON(rk))
+			}
+		}
+		if req.alpha > 0 {
+			sig := res.SignificantPatterns(m, req.alpha, core.ByAbsDivergence)
+			for i, s := range sig {
+				if i == req.topK {
+					break
+				}
+				mj.Significant = append(mj.Significant, toJSON(s.Ranked))
+			}
+		}
+		for _, c := range res.CompareItemDivergence(m) {
+			ind := c.Individual
+			if math.IsNaN(ind) {
+				ind = 0
+			}
+			mj.Items = append(mj.Items, itemJSON{
+				Item:       res.DB.Catalog.Name(c.Item),
+				Global:     c.Global,
+				Individual: ind,
+			})
+		}
+		for _, c := range res.TopCorrective(m, 5, 2.0) {
+			mj.Corrective = append(mj.Corrective, correctiveJSON{
+				Base:   itemNames(res, c.Base),
+				Item:   res.DB.Catalog.Name(c.Item),
+				Factor: c.Factor,
+				T:      c.T,
+			})
+		}
+		resp.Metrics = append(resp.Metrics, mj)
+	}
+	return resp
+}
+
+func itemNames(res *core.Result, is fpm.Itemset) []string {
+	out := make([]string, len(is))
+	for i, it := range is {
+		out[i] = res.DB.Catalog.Name(it)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package stats provides the statistical primitives used throughout the
+// DivExplorer reproduction: Beta-posterior moments for Bernoulli rates,
+// Welch's t-statistic, Shapley weighting factors, and small numeric
+// helpers. Everything is exact closed-form arithmetic on float64; no
+// sampling is involved.
+package stats
+
+import "math"
+
+// BetaMean returns the mean of a Beta(alpha, beta) distribution.
+// It panics if either parameter is not strictly positive, since such a
+// distribution is undefined.
+func BetaMean(alpha, beta float64) float64 {
+	checkBetaParams(alpha, beta)
+	return alpha / (alpha + beta)
+}
+
+// BetaVariance returns the variance of a Beta(alpha, beta) distribution.
+func BetaVariance(alpha, beta float64) float64 {
+	checkBetaParams(alpha, beta)
+	s := alpha + beta
+	return alpha * beta / (s * s * (s + 1))
+}
+
+func checkBetaParams(alpha, beta float64) {
+	if !(alpha > 0) || !(beta > 0) {
+		panic("stats: Beta parameters must be positive")
+	}
+}
+
+// PosteriorRate holds the Bayesian posterior over an unknown Bernoulli
+// success rate after observing kPos successes and kNeg failures, starting
+// from the uniform prior Beta(1, 1). This is the construction of Sec. 3.3
+// of the paper: the posterior is Beta(kPos+1, kNeg+1), which remains well
+// defined even when kPos+kNeg = 0 (all outcomes ⊥ on the itemset).
+type PosteriorRate struct {
+	KPos float64 // observed positive outcomes (k⁺)
+	KNeg float64 // observed negative outcomes (k⁻)
+}
+
+// NewPosteriorRate builds the posterior for kPos positive and kNeg
+// negative observations. Negative counts panic: they cannot arise from
+// tallying and always indicate a caller bug.
+func NewPosteriorRate(kPos, kNeg float64) PosteriorRate {
+	if kPos < 0 || kNeg < 0 {
+		panic("stats: negative observation counts")
+	}
+	return PosteriorRate{KPos: kPos, KNeg: kNeg}
+}
+
+// Mean returns the posterior mean (k⁺+1)/(k⁺+k⁻+2), Eq. 3 of the paper.
+func (p PosteriorRate) Mean() float64 {
+	return (p.KPos + 1) / (p.KPos + p.KNeg + 2)
+}
+
+// Variance returns the posterior variance
+// (k⁺+1)(k⁻+1) / ((k⁺+k⁻+2)²(k⁺+k⁻+3)), Eq. 3 of the paper.
+func (p PosteriorRate) Variance() float64 {
+	n := p.KPos + p.KNeg
+	return (p.KPos + 1) * (p.KNeg + 1) / ((n + 2) * (n + 2) * (n + 3))
+}
+
+// StdDev returns the posterior standard deviation.
+func (p PosteriorRate) StdDev() float64 { return math.Sqrt(p.Variance()) }
+
+// WelchT computes the Welch t-statistic |mu1−mu2| / sqrt(v1+v2) used by
+// the paper to compare the positive rate on an itemset with the positive
+// rate on the whole dataset. The result is always non-negative. If both
+// variances are zero the statistic is 0 when the means agree and +Inf
+// otherwise.
+func WelchT(mu1, v1, mu2, v2 float64) float64 {
+	if v1 < 0 || v2 < 0 {
+		panic("stats: negative variance")
+	}
+	num := math.Abs(mu1 - mu2)
+	den := math.Sqrt(v1 + v2)
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// WelchTPosterior is a convenience wrapper computing the Welch t-statistic
+// between two Bernoulli-rate posteriors.
+func WelchTPosterior(a, b PosteriorRate) float64 {
+	return WelchT(a.Mean(), a.Variance(), b.Mean(), b.Variance())
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestBetaMeanVariance(t *testing.T) {
+	tests := []struct {
+		alpha, beta, wantMean, wantVar float64
+	}{
+		{1, 1, 0.5, 1.0 / 12},
+		{2, 2, 0.5, 0.05},
+		{1, 3, 0.25, 3.0 / (16 * 5)},
+		{10, 30, 0.25, 10 * 30 / (40.0 * 40 * 41)},
+	}
+	for _, tc := range tests {
+		if got := BetaMean(tc.alpha, tc.beta); !almostEqual(got, tc.wantMean, 1e-12) {
+			t.Errorf("BetaMean(%v,%v) = %v, want %v", tc.alpha, tc.beta, got, tc.wantMean)
+		}
+		if got := BetaVariance(tc.alpha, tc.beta); !almostEqual(got, tc.wantVar, 1e-12) {
+			t.Errorf("BetaVariance(%v,%v) = %v, want %v", tc.alpha, tc.beta, got, tc.wantVar)
+		}
+	}
+}
+
+func TestBetaPanicsOnInvalid(t *testing.T) {
+	for _, params := range [][2]float64{{0, 1}, {1, 0}, {-1, 2}, {math.NaN(), 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BetaMean(%v,%v) did not panic", params[0], params[1])
+				}
+			}()
+			BetaMean(params[0], params[1])
+		}()
+	}
+}
+
+func TestPosteriorRateMatchesPaperEq3(t *testing.T) {
+	// k⁺ = 3, k⁻ = 7: mean = 4/12, var = 4*8/(12²·13).
+	p := NewPosteriorRate(3, 7)
+	if got, want := p.Mean(), 4.0/12; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := p.Variance(), 4.0*8/(144*13); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestPosteriorRateZeroObservations(t *testing.T) {
+	// The all-⊥ itemset case from Sec. 3.3: must stay numerically stable.
+	p := NewPosteriorRate(0, 0)
+	if got := p.Mean(); got != 0.5 {
+		t.Errorf("Mean with no data = %v, want 0.5 (uniform prior)", got)
+	}
+	if got, want := p.Variance(), 1.0/12; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance with no data = %v, want %v", got, want)
+	}
+}
+
+func TestPosteriorRateNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPosteriorRate(-1, 0) did not panic")
+		}
+	}()
+	NewPosteriorRate(-1, 0)
+}
+
+// Posterior mean approaches the empirical rate and the variance shrinks as
+// O(1/n): the frequentist limit of the Bayesian treatment.
+func TestPosteriorRateFrequentistLimit(t *testing.T) {
+	f := func(pos, neg uint16) bool {
+		kp, kn := float64(pos)+1000, float64(neg)+3000
+		p := NewPosteriorRate(kp, kn)
+		empirical := kp / (kp + kn)
+		if !almostEqual(p.Mean(), empirical, 2e-3) {
+			return false
+		}
+		return p.Variance() < 1.0/(kp+kn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The posterior mean is monotone in k⁺ for fixed k⁻ and total ordering is
+// preserved — a basic sanity invariant of Eq. 3.
+func TestPosteriorRateMonotone(t *testing.T) {
+	f := func(pos, neg uint8) bool {
+		p := NewPosteriorRate(float64(pos), float64(neg))
+		q := NewPosteriorRate(float64(pos)+1, float64(neg))
+		return q.Mean() > p.Mean()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	if got := WelchT(0.5, 0.01, 0.3, 0.03); !almostEqual(got, 0.2/0.2, 1e-12) {
+		t.Errorf("WelchT = %v, want 1", got)
+	}
+	if got := WelchT(0.4, 0, 0.4, 0); got != 0 {
+		t.Errorf("WelchT identical degenerate = %v, want 0", got)
+	}
+	if got := WelchT(0.4, 0, 0.5, 0); !math.IsInf(got, 1) {
+		t.Errorf("WelchT distinct degenerate = %v, want +Inf", got)
+	}
+}
+
+func TestWelchTSymmetricNonNegative(t *testing.T) {
+	f := func(m1, m2 uint8, v1, v2 uint8) bool {
+		a := float64(m1) / 255
+		b := float64(m2) / 255
+		va := float64(v1)/255 + 1e-6
+		vb := float64(v2)/255 + 1e-6
+		t1 := WelchT(a, va, b, vb)
+		t2 := WelchT(b, vb, a, va)
+		return t1 >= 0 && almostEqual(t1, t2, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelchTPosterior(t *testing.T) {
+	a := NewPosteriorRate(50, 50)
+	b := NewPosteriorRate(10, 90)
+	got := WelchTPosterior(a, b)
+	want := WelchT(a.Mean(), a.Variance(), b.Mean(), b.Variance())
+	if got != want {
+		t.Errorf("WelchTPosterior = %v, want %v", got, want)
+	}
+	if got <= 0 {
+		t.Errorf("expected clearly significant difference, got t = %v", got)
+	}
+}

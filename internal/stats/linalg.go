@@ -1,0 +1,109 @@
+package stats
+
+import "fmt"
+
+// SolveLinear solves the linear system A·x = b by Gaussian elimination
+// with partial pivoting. A is given in row-major order and is modified in
+// place, as is b; the solution is returned. Intended for the small dense
+// systems of the LIME surrogate fit (tens of unknowns).
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: system shape mismatch (%d equations, %d rhs)", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: matrix row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// RidgeRegression fits weighted ridge regression: it returns the
+// coefficient vector (including an intercept as the last entry)
+// minimizing Σ_i w_i (y_i − x_i·β − β0)² + λ‖β‖² (the intercept is not
+// penalized). xs is row-major with one feature vector per sample.
+func RidgeRegression(xs [][]float64, ys, weights []float64, lambda float64) ([]float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: no samples")
+	}
+	if len(ys) != n || len(weights) != n {
+		return nil, fmt.Errorf("stats: sample count mismatch")
+	}
+	d := len(xs[0])
+	m := d + 1 // + intercept
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	atb := make([]float64, m)
+	xi := make([]float64, m)
+	for s := 0; s < n; s++ {
+		if len(xs[s]) != d {
+			return nil, fmt.Errorf("stats: ragged feature matrix at row %d", s)
+		}
+		copy(xi, xs[s])
+		xi[d] = 1
+		w := weights[s]
+		for i := 0; i < m; i++ {
+			if xi[i] == 0 {
+				continue
+			}
+			wxi := w * xi[i]
+			for j := i; j < m; j++ {
+				ata[i][j] += wxi * xi[j]
+			}
+			atb[i] += wxi * ys[s]
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	for i := 0; i < d; i++ { // penalize all but the intercept
+		ata[i][i] += lambda
+	}
+	return SolveLinear(ata, atb)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1},
+		{1, 3},
+	}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	b := []float64{2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-9) || !almostEqual(x[1], 2, 1e-9) {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square system accepted")
+	}
+	if _, err := SolveLinear([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant: well conditioned
+			orig[i] = append([]float64(nil), a[i]...)
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += orig[i][j] * want[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-6) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRidgeRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, d := 200, 3
+	coef := []float64{2, -1, 0.5}
+	intercept := 0.7
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = make([]float64, d)
+		y := intercept
+		for j := 0; j < d; j++ {
+			xs[i][j] = rng.NormFloat64()
+			y += coef[j] * xs[i][j]
+		}
+		ys[i] = y
+		ws[i] = 1
+	}
+	beta, err := RidgeRegression(xs, ys, ws, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range coef {
+		if !almostEqual(beta[j], c, 1e-3) {
+			t.Errorf("beta[%d] = %v, want %v", j, beta[j], c)
+		}
+	}
+	if !almostEqual(beta[d], intercept, 1e-3) {
+		t.Errorf("intercept = %v, want %v", beta[d], intercept)
+	}
+}
+
+func TestRidgeShrinksWithLambda(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	ws := []float64{1, 1, 1, 1}
+	small, err := RidgeRegression(xs, ys, ws, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RidgeRegression(xs, ys, ws, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(abs(big[0]) < abs(small[0])) {
+		t.Errorf("lambda=100 coefficient %v not smaller than %v", big[0], small[0])
+	}
+}
+
+func TestRidgeWeightsMatter(t *testing.T) {
+	// Two incompatible points; weights decide which the fit follows.
+	xs := [][]float64{{1}, {1}}
+	ys := []float64{0, 10}
+	heavy0, err := RidgeRegression(xs, ys, []float64{100, 0.01}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy1, err := RidgeRegression(xs, ys, []float64{0.01, 100}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred0 := heavy0[0] + heavy0[1]
+	pred1 := heavy1[0] + heavy1[1]
+	if !(pred0 < 1 && pred1 > 9) {
+		t.Errorf("weighted fits = %v, %v; want ≈0 and ≈10", pred0, pred1)
+	}
+}
+
+func TestRidgeErrors(t *testing.T) {
+	if _, err := RidgeRegression(nil, nil, nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := RidgeRegression([][]float64{{1}}, []float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("mismatched ys accepted")
+	}
+	if _, err := RidgeRegression([][]float64{{1}, {1, 2}}, []float64{1, 2}, []float64{1, 1}, 1); err == nil {
+		t.Error("ragged xs accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package stats
+
+// Shapley weighting factors. The local item contribution (Eq. 5) uses the
+// classic coalition weight |J|!(|I|−|J|−1)!/|I|!, and the global item
+// divergence (Eq. 8) uses |B|!(|A|−|B|−|I|)!/|A|! scaled by the product of
+// attribute-domain sizes. Factorials are precomputed as float64; datasets
+// have at most a few dozen attributes, far below the float64 factorial
+// overflow point (170!).
+
+const maxFactorial = 170
+
+var factorials = func() [maxFactorial + 1]float64 {
+	var f [maxFactorial + 1]float64
+	f[0] = 1
+	for i := 1; i <= maxFactorial; i++ {
+		f[i] = f[i-1] * float64(i)
+	}
+	return f
+}()
+
+// Factorial returns n! as a float64. It panics for n < 0 or n > 170
+// (beyond float64 range); itemset and attribute counts never get close.
+func Factorial(n int) float64 {
+	if n < 0 || n > maxFactorial {
+		panic("stats: factorial argument out of range")
+	}
+	return factorials[n]
+}
+
+// ShapleyWeight returns the coalition weight |J|!(n−|J|−1)!/n! from Eq. 5,
+// where n is the size of the full coalition (itemset length) and j = |J|
+// is the size of the sub-coalition the item joins. Requires 0 ≤ j < n.
+func ShapleyWeight(j, n int) float64 {
+	if n <= 0 || j < 0 || j >= n {
+		panic("stats: invalid Shapley weight arguments")
+	}
+	return Factorial(j) * Factorial(n-j-1) / Factorial(n)
+}
+
+// GlobalShapleyWeight returns the attribute-level weight
+// |B|!(|A|−|B|−|I|)!/|A|! from Eq. 8, before division by the domain-size
+// product. b = |B| is the number of attributes in the context itemset,
+// total = |A| the number of attributes in the schema, and size = |I| the
+// number of attributes (= items) in the itemset whose global divergence is
+// being measured. Requires b ≥ 0, size ≥ 1, b+size ≤ total.
+func GlobalShapleyWeight(b, size, total int) float64 {
+	if b < 0 || size < 1 || b+size > total {
+		panic("stats: invalid global Shapley weight arguments")
+	}
+	return Factorial(b) * Factorial(total-b-size) / Factorial(total)
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorialSmall(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestFactorialPanics(t *testing.T) {
+	for _, n := range []int{-1, 171} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Factorial(%d) did not panic", n)
+				}
+			}()
+			Factorial(n)
+		}()
+	}
+}
+
+// The Shapley weights over all coalition sizes, counted with multiplicity
+// (number of sub-coalitions of each size), must sum to 1: every
+// permutation contributes exactly once.
+func TestShapleyWeightsSumToOne(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			// C(n-1, j) coalitions of size j not containing the item.
+			coalitions := Factorial(n-1) / (Factorial(j) * Factorial(n-1-j))
+			sum += coalitions * ShapleyWeight(j, n)
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Errorf("n=%d: Shapley weights sum to %v, want 1", n, sum)
+		}
+	}
+}
+
+func TestShapleyWeightKnownValues(t *testing.T) {
+	// n=3: weights are 1/3 (j=0), 1/6 (j=1), 1/3 (j=2).
+	cases := []struct {
+		j, n int
+		want float64
+	}{
+		{0, 3, 1.0 / 3},
+		{1, 3, 1.0 / 6},
+		{2, 3, 1.0 / 3},
+		{0, 1, 1},
+		{0, 2, 0.5},
+		{1, 2, 0.5},
+	}
+	for _, c := range cases {
+		if got := ShapleyWeight(c.j, c.n); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("ShapleyWeight(%d,%d) = %v, want %v", c.j, c.n, got, c.want)
+		}
+	}
+}
+
+func TestShapleyWeightPanics(t *testing.T) {
+	for _, c := range [][2]int{{-1, 3}, {3, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShapleyWeight(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			ShapleyWeight(c[0], c[1])
+		}()
+	}
+}
+
+// GlobalShapleyWeight generalizes ShapleyWeight: for size=1 the attribute
+// level weight must coincide with the single-item Shapley weight over |A|
+// players.
+func TestGlobalShapleyWeightReducesToShapley(t *testing.T) {
+	f := func(bRaw, totalRaw uint8) bool {
+		total := int(totalRaw%14) + 2
+		b := int(bRaw) % total // 0..total-1
+		if b >= total {
+			return true
+		}
+		return almostEqual(GlobalShapleyWeight(b, 1, total), ShapleyWeight(b, total), 1e-14)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalShapleyWeightPanics(t *testing.T) {
+	for _, c := range [][3]int{{-1, 1, 3}, {0, 0, 3}, {2, 2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GlobalShapleyWeight(%v) did not panic", c)
+				}
+			}()
+			GlobalShapleyWeight(c[0], c[1], c[2])
+		}()
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or 0
+// for slices with fewer than one element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n−1),
+// or 0 for slices with fewer than two elements.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or
+// a q outside [0, 1]. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile fraction out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CohenD returns Cohen's d effect size between two samples: the difference
+// of means divided by the pooled standard deviation. Slice Finder uses
+// this form of effect size to decide whether a slice is "problematic".
+// Returns 0 when the pooled deviation is zero and the means agree, and
+// ±Inf when they differ.
+func CohenD(a, b []float64) float64 {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return 0
+	}
+	va, vb := SampleVariance(a), SampleVariance(b)
+	pooled := math.Sqrt(((na-1)*va + (nb-1)*vb) / (na + nb - 2))
+	diff := Mean(a) - Mean(b)
+	if pooled == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1) * sign(diff)
+	}
+	return diff / pooled
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// TwoSampleWelchT returns Welch's t-statistic for two raw samples along
+// with the Welch–Satterthwaite degrees of freedom. Used by the Slice
+// Finder baseline for its significance test.
+func TwoSampleWelchT(a, b []float64) (t, df float64) {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return 0, 0
+	}
+	va, vb := SampleVariance(a)/na, SampleVariance(b)/nb
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		if Mean(a) == Mean(b) {
+			return 0, na + nb - 2
+		}
+		return math.Inf(1), na + nb - 2
+	}
+	t = (Mean(a) - Mean(b)) / den
+	dfDen := va*va/(na-1) + vb*vb/(nb-1)
+	if dfDen == 0 {
+		df = na + nb - 2
+	} else {
+		df = (va + vb) * (va + vb) / dfDen
+	}
+	return t, df
+}

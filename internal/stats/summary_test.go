@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	if got := SampleVariance(xs); !almostEqual(got, 5.0/3, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 5/3", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := SampleVariance([]float64{7}); got != 0 {
+		t.Errorf("SampleVariance(single) = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile(empty) did not panic")
+			}
+		}()
+		Quantile(nil, 0.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile(q=2) did not panic")
+			}
+		}()
+		Quantile([]float64{1}, 2)
+	}()
+}
+
+func TestCohenD(t *testing.T) {
+	a := []float64{1, 1, 1, 1, 0, 0}
+	b := []float64{0, 0, 0, 0, 0, 1}
+	d := CohenD(a, b)
+	if d <= 0 {
+		t.Errorf("CohenD = %v, want positive (a has higher mean)", d)
+	}
+	if got := CohenD(b, a); !almostEqual(got, -d, 1e-12) {
+		t.Errorf("CohenD antisymmetry: %v vs %v", got, -d)
+	}
+	if got := CohenD([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Errorf("CohenD identical constants = %v, want 0", got)
+	}
+	if got := CohenD([]float64{1, 1}, []float64{0, 0}); !math.IsInf(got, 1) {
+		t.Errorf("CohenD distinct constants = %v, want +Inf", got)
+	}
+}
+
+func TestTwoSampleWelchT(t *testing.T) {
+	a := []float64{2, 4, 6, 8}
+	b := []float64{1, 2, 3, 4}
+	tt, df := TwoSampleWelchT(a, b)
+	if tt <= 0 {
+		t.Errorf("t = %v, want positive", tt)
+	}
+	if df <= 0 || df > 6 {
+		t.Errorf("df = %v, want in (0, 6]", df)
+	}
+	// Degenerate: identical constant samples.
+	tt, _ = TwoSampleWelchT([]float64{1, 1}, []float64{1, 1})
+	if tt != 0 {
+		t.Errorf("degenerate t = %v, want 0", tt)
+	}
+}
+
+// Variance is translation invariant and scales quadratically.
+func TestVarianceProperties(t *testing.T) {
+	f := func(raw []uint8, shiftRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		shift := float64(shiftRaw)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			shifted[i] = xs[i] + shift
+			scaled[i] = xs[i] * 3
+		}
+		v := Variance(xs)
+		return almostEqual(Variance(shifted), v, 1e-6*(v+1)) &&
+			almostEqual(Variance(scaled), 9*v, 1e-6*(9*v+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package userstudy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestScoreSelection(t *testing.T) {
+	target := newPattern("age=>45", "charge=M")
+	hit, partial := scoreSelection([]pattern{newPattern("charge=M", "age=>45")}, target)
+	if !hit {
+		t.Error("exact selection not scored as hit")
+	}
+	hit, partial = scoreSelection([]pattern{newPattern("age=>45")}, target)
+	if hit || !partial {
+		t.Errorf("single item scored hit=%v partial=%v, want partial only", hit, partial)
+	}
+	hit, partial = scoreSelection([]pattern{newPattern("race=Cauc")}, target)
+	if hit || partial {
+		t.Error("unrelated selection scored")
+	}
+	// A superset pattern is neither hit nor partial under the paper's
+	// metric definitions.
+	hit, partial = scoreSelection([]pattern{newPattern("age=>45", "charge=M", "sex=Male")}, target)
+	if hit || partial {
+		t.Error("superset scored")
+	}
+}
+
+func TestSimulateUserProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cands := []pattern{
+		newPattern("a=1"), newPattern("b=1"), newPattern("c=1"),
+		newPattern("d=1"), newPattern("e=1"), newPattern("f=1"),
+	}
+	sel := simulateUser(rng, cands, 5)
+	if len(sel) != 5 {
+		t.Fatalf("selected %d, want 5", len(sel))
+	}
+	seen := map[string]bool{}
+	for _, s := range sel {
+		if seen[s.String()] {
+			t.Error("duplicate selection")
+		}
+		seen[s.String()] = true
+	}
+	// Fewer candidates than k: all returned.
+	sel = simulateUser(rng, cands[:2], 5)
+	if len(sel) != 2 {
+		t.Errorf("selected %d from 2 candidates", len(sel))
+	}
+	if got := simulateUser(rng, nil, 5); got != nil {
+		t.Errorf("selection from empty list = %v", got)
+	}
+	// Rank weighting: over many trials, the first candidate is selected
+	// first most often.
+	firstCount := 0
+	for i := 0; i < 300; i++ {
+		s := simulateUser(rng, cands, 1)
+		if s[0].equal(cands[0]) {
+			firstCount++
+		}
+	}
+	if firstCount < 90 {
+		t.Errorf("top candidate picked first only %d/300 times", firstCount)
+	}
+}
+
+func TestRunStudyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study is expensive")
+	}
+	res, err := Run(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Groups))
+	}
+	byGroup := map[Group]GroupResult{}
+	for _, g := range res.Groups {
+		byGroup[g.Group] = g
+		if g.Users <= 0 || g.Hits+g.PartialHits > g.Users {
+			t.Errorf("%s: inconsistent counts %+v", g.Group, g)
+		}
+	}
+	div := byGroup[GroupDivExplorer]
+	// The injected pattern must appear in DivExplorer's candidate list —
+	// the tool-quality claim underlying Fig. 12.
+	found := false
+	for _, c := range div.Candidates {
+		if c == res.InjectedPattern {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DivExplorer candidates %v lack injected pattern %q",
+			div.Candidates, res.InjectedPattern)
+	}
+	// Ordering claim of Fig. 12: DivExplorer's combined hit rate tops all
+	// other groups, and its full-hit rate is the highest.
+	for _, g := range res.Groups {
+		if g.Group == GroupDivExplorer {
+			continue
+		}
+		if g.HitRate() > div.HitRate() {
+			t.Errorf("%s full-hit rate %v exceeds DivExplorer %v",
+				g.Group, g.HitRate(), div.HitRate())
+		}
+	}
+	if div.HitRate() < 0.5 {
+		t.Errorf("DivExplorer hit rate = %v, want >= 0.5", div.HitRate())
+	}
+	// Slice Finder under defaults prunes before the pair: mostly partial.
+	sf := byGroup[GroupSliceFinder]
+	if sf.HitRate() > div.HitRate() {
+		t.Errorf("SliceFinder hit rate %v above DivExplorer %v", sf.HitRate(), div.HitRate())
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	cases := map[Group]string{
+		GroupControl:     "control",
+		GroupDivExplorer: "DivExplorer",
+		GroupSliceFinder: "SliceFinder",
+		GroupLIME:        "LIME",
+		Group(9):         "group9",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(g), got, want)
+		}
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	p := newPattern("b=2", "a=1")
+	if p.String() != "a=1, b=2" {
+		t.Errorf("String = %q", p.String())
+	}
+	if !p.equal(newPattern("a=1", "b=2")) {
+		t.Error("equal failed on permuted construction")
+	}
+	if p.equal(newPattern("a=1")) {
+		t.Error("equal matched different lengths")
+	}
+	if !strings.Contains(p.String(), ", ") {
+		t.Error("String missing separator")
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated study is expensive")
+	}
+	res, err := RunReplicated(Config{Seed: 11, UsersPerGroup: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		if g.Users != 15 {
+			t.Errorf("%s users = %d, want 15 (3 replicates x 5)", g.Group, g.Users)
+		}
+		if g.Hits+g.PartialHits > g.Users {
+			t.Errorf("%s counts inconsistent: %+v", g.Group, g)
+		}
+	}
+	// The headline ordering must survive averaging: DivExplorer leads
+	// full hits.
+	var div, sf GroupResult
+	for _, g := range res.Groups {
+		switch g.Group {
+		case GroupDivExplorer:
+			div = g
+		case GroupSliceFinder:
+			sf = g
+		}
+	}
+	if div.HitRate() <= sf.HitRate() {
+		t.Errorf("replicated DivExplorer hit rate %v not above SliceFinder %v",
+			div.HitRate(), sf.HitRate())
+	}
+	if _, err := RunReplicated(Config{}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package divexplorer
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+// Aliases re-exporting the data model so that callers interact with a
+// single package.
+type (
+	// Data is a discrete tabular dataset (attributes with finite domains,
+	// value-coded rows).
+	Data = dataset.Dataset
+	// Attribute is one column: a name and its ordered domain of values.
+	Attribute = dataset.Attribute
+	// DataBuilder incrementally assembles a Data from string records.
+	DataBuilder = dataset.Builder
+	// CSVOptions controls CSV parsing in ReadCSV.
+	CSVOptions = dataset.CSVOptions
+
+	// Item identifies one attribute=value pair.
+	Item = fpm.Item
+	// Itemset is a set of items over distinct attributes (a pattern).
+	Itemset = fpm.Itemset
+
+	// Metric is an outcome rate over itemset tallies (FPR, FNR, ...).
+	Metric = core.Metric
+	// Ranked is a pattern annotated with support, rate, divergence and
+	// significance.
+	Ranked = core.Ranked
+	// Contribution is a (local or global) Shapley attribution to an item.
+	Contribution = core.Contribution
+	// Corrective records an item that reduces a pattern's divergence.
+	Corrective = core.Corrective
+	// ItemDivergenceComparison pairs an item's individual and global
+	// divergence.
+	ItemDivergenceComparison = core.ItemDivergenceComparison
+	// RankOrder selects the TopK sort direction.
+	RankOrder = core.RankOrder
+	// Significant is a pattern surviving Benjamini–Hochberg FDR control.
+	Significant = core.Significant
+	// DivergenceCredible annotates a pattern with Bayesian credible
+	// bounds and the posterior sign probability.
+	DivergenceCredible = core.DivergenceCredible
+	// ApproxShapleyConfig controls the Monte Carlo Shapley estimator.
+	ApproxShapleyConfig = core.ApproxShapleyConfig
+	// PatternShift records how a pattern's rate moved between two
+	// explorations (drift detection / model comparison).
+	PatternShift = core.PatternShift
+	// FairnessReport summarizes group-fairness metrics and gaps for one
+	// protected attribute.
+	FairnessReport = core.FairnessReport
+	// GroupMetrics holds one protected group's confusion metrics.
+	GroupMetrics = core.GroupMetrics
+)
+
+// Ranking orders for TopK.
+const (
+	ByDivergence    = core.ByDivergence
+	ByAbsDivergence = core.ByAbsDivergence
+	ByNegDivergence = core.ByNegDivergence
+)
+
+// Built-in metrics over the classifier confusion matrix.
+var (
+	FPR                   = core.FPR
+	FNR                   = core.FNR
+	ErrorRate             = core.ErrorRate
+	Accuracy              = core.Accuracy
+	PPV                   = core.PPV
+	TPR                   = core.TPR
+	TNR                   = core.TNR
+	FDR                   = core.FDR
+	FOR                   = core.FOR
+	PredictedPositiveRate = core.PredictedPositiveRate
+	TruePositiveShare     = core.TruePositiveShare
+	// OutcomeRate is the positive rate of a generic Boolean outcome
+	// function (use with NewOutcomeExplorer).
+	OutcomeRate = core.OutcomeRate
+)
+
+// Metrics lists all built-in confusion-matrix metrics.
+func Metrics() []Metric { return core.ConfusionMetrics() }
+
+// MetricByName resolves a metric by name ("FPR", "FNR", "ER", "ACC", ...).
+func MetricByName(name string) (Metric, error) { return core.MetricByName(name) }
+
+// Outcome is the value of a Boolean outcome function o : D → {T, F, ⊥}
+// (paper Def. 3.2) for one instance.
+type Outcome uint8
+
+// Outcome values.
+const (
+	OutcomeTrue   = Outcome(core.OutcomeT)
+	OutcomeFalse  = Outcome(core.OutcomeF)
+	OutcomeBottom = Outcome(core.OutcomeBot)
+)
