@@ -143,8 +143,10 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%d rows, %d attributes, %d frequent itemsets at s=%g (miner %s)\n\n",
-		data.NumRows(), data.NumAttrs(), res.NumPatterns(), cfg.support, cfg.miner)
+	if _, err := fmt.Fprintf(w, "%d rows, %d attributes, %d frequent itemsets at s=%g (miner %s)\n\n",
+		data.NumRows(), data.NumAttrs(), res.NumPatterns(), cfg.support, cfg.miner); err != nil {
+		return err
+	}
 
 	var metrics []divexplorer.Metric
 	for _, name := range strings.Split(cfg.metrics, ",") {
@@ -156,7 +158,9 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 	}
 
 	for _, m := range metrics {
-		fmt.Fprintf(w, "overall %s = %s\n", m.Name, report.FormatFloat(res.GlobalRate(m)))
+		if _, err := fmt.Fprintf(w, "overall %s = %s\n", m.Name, report.FormatFloat(res.GlobalRate(m))); err != nil {
+			return err
+		}
 		var rows []divexplorer.Ranked
 		title := fmt.Sprintf("top %d patterns by Δ_%s", cfg.topK, m.Name)
 		if cfg.eps > 0 {
@@ -180,7 +184,9 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 			}
 		}
 		if cfg.global {
-			printGlobal(w, res, m)
+			if err := printGlobal(w, res, m); err != nil {
+				return err
+			}
 		}
 		if cfg.corrective > 0 {
 			tbl := report.NewTable(fmt.Sprintf("top %d corrective items (%s)", cfg.corrective, m.Name),
@@ -194,16 +200,22 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 		}
 		if cfg.alpha > 0 {
 			sig := res.SignificantPatterns(m, cfg.alpha, divexplorer.ByAbsDivergence)
-			fmt.Fprintf(w, "%d patterns significant at FDR q=%g (of %d tested); strongest:\n",
-				len(sig), cfg.alpha, res.NumPatterns())
+			if _, err := fmt.Fprintf(w, "%d patterns significant at FDR q=%g (of %d tested); strongest:\n",
+				len(sig), cfg.alpha, res.NumPatterns()); err != nil {
+				return err
+			}
 			for i, s := range sig {
 				if i == 5 {
 					break
 				}
-				fmt.Fprintf(w, "  %-52s Δ=%+.3f p=%.2g adj=%.2g\n",
-					res.Format(s.Items), s.Divergence, s.P, s.AdjP)
+				if _, err := fmt.Fprintf(w, "  %-52s Δ=%+.3f p=%.2g adj=%.2g\n",
+					res.Format(s.Items), s.Divergence, s.P, s.AdjP); err != nil {
+					return err
+				}
 			}
-			fmt.Fprintln(w)
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
 		}
 		if cfg.lattice != "" {
 			is, err := res.Itemset(splitPattern(cfg.lattice)...)
@@ -225,7 +237,8 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 			return err
 		}
 		other, _, err2 := analyzeCSV(cfg, f)
-		f.Close()
+		_ = f.Close() // read-only file; nothing to recover from a Close error
+
 		if err2 != nil {
 			return fmt.Errorf("analyzing %s: %w", cfg.compare, err2)
 		}
@@ -259,10 +272,12 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 		if _, err := io.WriteString(w, tbl.String()); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "gaps: parity=%s fpr=%s fnr=%s equal-opp=%s ppv=%s acc=%s\n\n",
+		if _, err := fmt.Fprintf(w, "gaps: parity=%s fpr=%s fnr=%s equal-opp=%s ppv=%s acc=%s\n\n",
 			report.FormatFloat(rep.StatParityGap), report.FormatFloat(rep.FPRGap),
 			report.FormatFloat(rep.FNRGap), report.FormatFloat(rep.EqualOppGap),
-			report.FormatFloat(rep.PPVGap), report.FormatFloat(rep.AccuracyGap))
+			report.FormatFloat(rep.PPVGap), report.FormatFloat(rep.AccuracyGap)); err != nil {
+			return err
+		}
 	}
 	if cfg.export != "" {
 		f, err := os.Create(cfg.export)
@@ -273,7 +288,9 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 		if err := res.WriteCSV(f, metrics[0], divexplorer.ByDivergence); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "exported %d patterns to %s\n", res.NumPatterns(), cfg.export)
+		if _, err := fmt.Fprintf(w, "exported %d patterns to %s\n", res.NumPatterns(), cfg.export); err != nil {
+			return err
+		}
 	}
 	if cfg.htmlOut != "" {
 		html, err := res.HTMLReport(divexplorer.HTMLReportConfig{
@@ -288,7 +305,9 @@ func run(cfg config, stdin io.Reader, w io.Writer) error {
 		if err := os.WriteFile(cfg.htmlOut, html, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "wrote HTML report to %s (%d bytes)\n", cfg.htmlOut, len(html))
+		if _, err := fmt.Fprintf(w, "wrote HTML report to %s (%d bytes)\n", cfg.htmlOut, len(html)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -320,7 +339,7 @@ func printShapley(w io.Writer, res *divexplorer.Result, m divexplorer.Metric, sp
 	return err
 }
 
-func printGlobal(w io.Writer, res *divexplorer.Result, m divexplorer.Metric) {
+func printGlobal(w io.Writer, res *divexplorer.Result, m divexplorer.Metric) error {
 	cmp := res.CompareItemDivergence(m)
 	tbl := report.NewTable(fmt.Sprintf("global vs individual item divergence (%s)", m.Name),
 		"Item", "global Δ^g", "individual Δ")
@@ -331,7 +350,8 @@ func printGlobal(w io.Writer, res *divexplorer.Result, m divexplorer.Metric) {
 		}
 		tbl.AddRow(res.ItemName(c.Item), report.FormatFloat(c.Global), ind)
 	}
-	io.WriteString(w, tbl.String()+"\n")
+	_, err := io.WriteString(w, tbl.String()+"\n")
+	return err
 }
 
 func splitPattern(s string) []string {

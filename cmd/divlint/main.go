@@ -1,0 +1,144 @@
+// Command divlint runs the project's static-analysis suite
+// (internal/analysis) over packages of this module and reports findings.
+//
+// Usage:
+//
+//	divlint [-json] [-list] [packages...]
+//
+// Package arguments are directories; a trailing "/..." walks recursively
+// ("./..." analyzes the whole module from the current directory). With no
+// arguments, "./..." is assumed.
+//
+// Exit codes form the CI contract:
+//
+//	0  no findings
+//	1  one or more findings (printed to stdout)
+//	2  usage, load, or type-check errors (printed to stderr)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("divlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "divlint: no packages matched")
+		return 2
+	}
+
+	moduleDir, err := findModuleRoot(dirs[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		return 2
+	}
+	suite, err := analysis.NewSuite(moduleDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		return 2
+	}
+	diags, err := suite.RunDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		err = analysis.FormatJSON(os.Stdout, diags)
+	} else {
+		err = analysis.Format(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "divlint:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expandPatterns turns package patterns into a deduplicated directory
+// list. "dir/..." walks dir; anything else is taken as one directory.
+func expandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if abs, err := filepath.Abs(d); err == nil {
+			d = abs
+		}
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" {
+				root = "."
+			}
+			sub, err := analysis.PackageDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+			continue
+		}
+		add(p)
+	}
+	return dirs, nil
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

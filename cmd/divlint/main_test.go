@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixture returns the path of a fixture package in the analysis testdata
+// mini-module.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", "internal", "analysis", "testdata", "src", name)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// silenceStdout routes the driver's findings to /dev/null for the
+// duration of the test.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		_ = devnull.Close() // test cleanup; nothing useful to do on failure
+	})
+}
+
+// TestExitCodeContract pins the CI contract documented in the package
+// comment: 0 on a clean package, 1 on findings, 2 on load errors.
+func TestExitCodeContract(t *testing.T) {
+	silenceStdout(t)
+	if got := run([]string{fixture(t, "clean")}); got != 0 {
+		t.Errorf("clean fixture: exit %d, want 0", got)
+	}
+	if got := run([]string{fixture(t, "floatcmp")}); got != 1 {
+		t.Errorf("floatcmp fixture: exit %d, want 1", got)
+	}
+	if got := run([]string{"-json", fixture(t, "errcheck")}); got != 1 {
+		t.Errorf("errcheck fixture with -json: exit %d, want 1", got)
+	}
+	if got := run([]string{filepath.Join(fixture(t, "clean"), "no-such-dir")}); got != 2 {
+		t.Errorf("missing dir: exit %d, want 2", got)
+	}
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("-list: exit %d, want 0", got)
+	}
+}

@@ -71,11 +71,15 @@ func run(id, outDir string, w io.Writer) error {
 			sink = io.MultiWriter(w, f)
 		}
 		err := e.Run(sink)
+		var closeErr error
 		if f != nil {
-			f.Close()
+			closeErr = f.Close()
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if closeErr != nil {
+			return fmt.Errorf("%s: closing output file: %w", e.ID, closeErr)
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
 			return err

@@ -1,0 +1,94 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for this repository, built directly on go/ast, go/parser, and go/types.
+//
+// It exists to mechanically enforce project invariants that the divergence
+// engine's correctness arguments rely on (deterministic miner output
+// ordering, careful float handling in the Bayesian significance layer,
+// no lock copying in the parallel miner, no process-control calls in
+// library packages). The cmd/divlint driver runs every registered
+// analyzer over every package in the module and fails the build on any
+// finding; lint_test.go does the same under `go test ./...` so the tier-1
+// gate enforces the invariants too.
+//
+// A finding can be suppressed, with a mandatory justification, by a
+// comment of the form
+//
+//	// lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is a single finding at a resolved source position. File is
+// module-relative (the loader parses files under module-relative names),
+// which keeps output stable across working directories and makes golden
+// files portable.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional compiler-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run inspects a single type-checked package
+// and reports findings through the pass; it must not retain the pass.
+type Analyzer interface {
+	// Name is the short identifier used in output and in lint:ignore
+	// comments. It must be a single lower-case word.
+	Name() string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// protects, shown by `divlint -list`.
+	Doc() string
+	// Run analyzes one package.
+	Run(*Pass)
+}
+
+// Pass carries everything an Analyzer needs to inspect one package.
+type Pass struct {
+	Fset  *token.FileSet
+	Path  string // import path, e.g. "repro/internal/stats"
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+
+	analyzer Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the type checker did not record
+// one (for example in code that failed to type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package analysis_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// fixtureSuite loads the fixture mini-module under testdata/src.
+func fixtureSuite(t *testing.T) *analysis.Suite {
+	t.Helper()
+	suite, err := analysis.NewSuite(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}
+
+// runFixture analyzes one fixture package and returns its diagnostics.
+func runFixture(t *testing.T, suite *analysis.Suite, name string) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := suite.RunDirs([]string{filepath.Join("testdata", "src", filepath.FromSlash(name))})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return diags
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/analysis -run TestFixture -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFixtureDiagnostics runs the full suite over each fixture package
+// and compares the human-readable output against expected-diagnostic
+// golden files. Every analyzer has a fixture that must produce findings;
+// the clean fixture must produce none.
+func TestFixtureDiagnostics(t *testing.T) {
+	suite := fixtureSuite(t)
+	cases := []struct {
+		name         string
+		wantFindings bool
+	}{
+		{"floatcmp", true},
+		{"errcheck", true},
+		{"lockcopy", true},
+		{"maporder", true},
+		{"internal/libprint", true},
+		{"suppress", true},
+		{"clean", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, suite, tc.name)
+			if got := len(diags) > 0; got != tc.wantFindings {
+				t.Errorf("findings present = %v, want %v (diags: %v)", got, tc.wantFindings, diags)
+			}
+			var buf bytes.Buffer
+			if err := analysis.Format(&buf, diags); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, strings.ReplaceAll(tc.name, "/", "_")+".txt", buf.Bytes())
+		})
+	}
+}
+
+// TestFixtureJSON pins the machine-readable output shape for CI
+// consumers against a golden JSON file.
+func TestFixtureJSON(t *testing.T) {
+	suite := fixtureSuite(t)
+	diags := runFixture(t, suite, "errcheck")
+	var buf bytes.Buffer
+	if err := analysis.FormatJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "errcheck.json", buf.Bytes())
+}
+
+// TestFormatJSONEmpty guarantees an empty run serializes as [], not null.
+func TestFormatJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.FormatJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics serialize as %q, want []", got)
+	}
+}
+
+// TestSuppressionSemantics asserts the load-bearing properties of
+// lint:ignore handling directly, independent of the golden file: the
+// wrong-analyzer case survives, the missing-reason case is reported as
+// malformed, and properly suppressed lines are absent.
+func TestSuppressionSemantics(t *testing.T) {
+	suite := fixtureSuite(t)
+	diags := runFixture(t, suite, "suppress")
+	var analyzers []string
+	for _, d := range diags {
+		analyzers = append(analyzers, d.Analyzer)
+		if d.Analyzer == "floatcmp" && d.Line < 20 {
+			t.Errorf("suppressed finding leaked through: %s", d)
+		}
+	}
+	want := []string{"floatcmp", "lint", "floatcmp"}
+	if strings.Join(analyzers, ",") != strings.Join(want, ",") {
+		t.Errorf("analyzers = %v, want %v (diags: %v)", analyzers, want, diags)
+	}
+}
+
+// TestPackageDirsSkipsTestdata keeps the walker honest: fixture packages
+// must never leak into a ./... run.
+func TestPackageDirsSkipsTestdata(t *testing.T) {
+	dirs, err := analysis.PackageDirs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("PackageDirs descended into %s", d)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags calls whose error result is silently dropped: a call
+// returning an error used as a bare expression statement or spawned with
+// `go`. Explicit discards (`_ = f()`) stay visible in the code and are
+// allowed, as are `defer` cleanups (deferred Close-style errors are an
+// accepted project-wide trade-off, documented in DESIGN.md).
+//
+// Mirroring the de-facto errcheck conventions, calls that cannot fail in
+// practice are exempt:
+//   - fmt.Print/Printf/Println (best-effort terminal output), and
+//     fmt.Fprint* / io.WriteString when the sink is os.Stdout, os.Stderr,
+//     or an infallible writer;
+//   - methods on bytes.Buffer and strings.Builder, and writes to a
+//     hash.Hash — all documented by the standard library to never return
+//     a non-nil error.
+type ErrCheck struct{}
+
+// Name implements Analyzer.
+func (ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Analyzer.
+func (ErrCheck) Doc() string {
+	return "flags discarded error returns (expression and go statements); explicit `_ =` discards, defers, " +
+		"terminal prints, and infallible writers (bytes.Buffer, strings.Builder, hash.Hash) are allowed"
+}
+
+// Run implements Analyzer.
+func (e ErrCheck) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !callReturnsError(pass, call) || isExemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or assign to _ explicitly",
+				types.ExprString(call.Fun))
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether any result of the call has type error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isExemptCall implements the exemptions documented on ErrCheck.
+func isExemptCall(pass *Pass, call *ast.CallExpr) bool {
+	// Methods on infallible writers: buf.WriteString(...), h.Write(...).
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selection, ok := pass.Info.Selections[sel]; ok && isInfallibleSinkType(selection.Recv()) {
+			return true
+		}
+	}
+	// Package-level print/write helpers.
+	pkg, name, ok := pkgLevelCallee(pass, call)
+	if !ok {
+		return false
+	}
+	switch {
+	case pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println"):
+		return true
+	case (pkg == "fmt" && strings.HasPrefix(name, "Fprint")) || (pkg == "io" && name == "WriteString"):
+		return len(call.Args) > 0 && isInfallibleSinkExpr(pass, call.Args[0])
+	}
+	return false
+}
+
+// isInfallibleSinkExpr reports whether e is os.Stdout/os.Stderr or has an
+// infallible writer type.
+func isInfallibleSinkExpr(pass *Pass, e ast.Expr) bool {
+	if sel, ok := unparen(e).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.Info.ObjectOf(id).(*types.PkgName); ok &&
+				pkgName.Imported().Path() == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+	}
+	return isInfallibleSinkType(pass.TypeOf(e))
+}
+
+// isInfallibleSinkType recognizes bytes.Buffer, strings.Builder, and
+// hash.Hash (whose Write is specified to never return an error),
+// possibly behind a pointer.
+func isInfallibleSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "bytes" && name == "Buffer",
+		pkg == "strings" && name == "Builder",
+		pkg == "hash" && (name == "Hash" || name == "Hash32" || name == "Hash64"):
+		return true
+	}
+	return false
+}

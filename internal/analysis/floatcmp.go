@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point (or complex) operands.
+//
+// The Bayesian significance layer (Beta posteriors, Welch t-statistics)
+// and the divergence metrics are float pipelines; exact equality on their
+// intermediate values is almost always a bug that rounding turns into a
+// heisen-result. The one idiomatic exception, the `x != x` NaN test, is
+// recognized and allowed. Intentional exact comparisons — e.g. a guard
+// against division by literal zero — must carry a lint:ignore directive
+// stating why exactness is wanted.
+type FloatCmp struct{}
+
+// Name implements Analyzer.
+func (FloatCmp) Name() string { return "floatcmp" }
+
+// Doc implements Analyzer.
+func (FloatCmp) Doc() string {
+	return "flags ==/!= on floating-point operands (except the x != x NaN idiom); " +
+		"protects the stats/metric code from rounding-dependent equality"
+}
+
+// Run implements Analyzer.
+func (f FloatCmp) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// Allow the NaN self-comparison idiom.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison (%s %s %s); compare with a tolerance or justify with lint:ignore",
+				be.Op, types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a float or complex kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

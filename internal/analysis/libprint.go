@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPrint forbids process-control and stdout calls in internal library
+// packages: fmt.Print/Printf/Println, os.Exit, log.Fatal* (which exits),
+// and the panic builtin. Library code must return errors and write to
+// injected io.Writers; terminating the process or printing to stdout is
+// reserved for cmd/ drivers and generated reports. Invariant-violation
+// panics that are part of a function's documented contract must carry a
+// lint:ignore libprint directive stating the invariant.
+type LibPrint struct{}
+
+// Name implements Analyzer.
+func (LibPrint) Name() string { return "libprint" }
+
+// Doc implements Analyzer.
+func (LibPrint) Doc() string {
+	return "forbids fmt.Print*, os.Exit, log.Fatal*, and panic in internal/* library packages; " +
+		"process control and stdout belong to cmd/"
+}
+
+// Run implements Analyzer.
+func (l LibPrint) Run(pass *Pass) {
+	if !isInternalPath(pass.Path) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isB := pass.Info.ObjectOf(id).(*types.Builtin); isB {
+					pass.Reportf(call.Pos(), "panic in internal library package; return an error, or lint:ignore with the invariant it guards")
+				}
+				return true
+			}
+			if pkg, name, ok := pkgLevelCallee(pass, call); ok {
+				switch {
+				case pkg == "fmt" && (name == "Print" || name == "Printf" || name == "Println"):
+					pass.Reportf(call.Pos(), "fmt.%s writes to stdout from an internal library package; take an io.Writer or move to cmd/", name)
+				case pkg == "os" && name == "Exit":
+					pass.Reportf(call.Pos(), "os.Exit in internal library package; return an error and let cmd/ decide the exit code")
+				case pkg == "log" && strings.HasPrefix(name, "Fatal"):
+					pass.Reportf(call.Pos(), "log.%s exits the process from an internal library package; return an error instead", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isInternalPath reports whether the import path has an "internal" element.
+func isInternalPath(path string) bool {
+	for _, part := range strings.Split(path, "/") {
+		if part == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgLevelCallee resolves call's callee when it is a package-level
+// function selected off an imported package, returning the package path
+// and function name.
+func pkgLevelCallee(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pass.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := pass.Info.ObjectOf(id).(*types.PkgName); isPkg {
+			return fn.Pkg().Path(), fn.Name(), true
+		}
+	}
+	return "", "", false
+}

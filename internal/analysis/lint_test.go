@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepositoryLintClean runs the full divlint suite over every package
+// in this repository as part of `go test ./...`, so the tier-1 gate
+// itself enforces the project invariants (deterministic miner output,
+// no float equality without justification, no discarded errors, no lock
+// copies, no process control in library code). A failure here is exactly
+// what `go run ./cmd/divlint ./...` would report.
+func TestRepositoryLintClean(t *testing.T) {
+	root := moduleRoot(t)
+	suite, err := analysis.NewSuite(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := analysis.PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := suite.RunDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

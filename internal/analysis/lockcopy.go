@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags values of sync primitive types (Mutex, RWMutex,
+// WaitGroup, Once, Cond, Pool, Map) — or of structs/arrays containing one
+// — being copied: passed or returned by value in a function signature,
+// copied in an assignment from an existing value, or copied per-iteration
+// by a range clause. A copied lock guards nothing; in the parallel miner
+// this is exactly the bug class that would let two workers enter a
+// critical section at once while each holds its own private mutex.
+type LockCopy struct{}
+
+// Name implements Analyzer.
+func (LockCopy) Name() string { return "lockcopy" }
+
+// Doc implements Analyzer.
+func (LockCopy) Doc() string {
+	return "flags sync.Mutex/RWMutex/WaitGroup/Once/Cond/Pool/Map (or structs containing them) " +
+		"passed, returned, assigned, or ranged-over by value"
+}
+
+// Run implements Analyzer.
+func (l LockCopy) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				l.checkSignature(pass, n.Type)
+			case *ast.FuncLit:
+				l.checkSignature(pass, n.Type)
+			case *ast.AssignStmt:
+				l.checkAssign(pass, n)
+			case *ast.RangeStmt:
+				l.checkRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags by-value parameters and results that carry a lock.
+func (l LockCopy) checkSignature(pass *Pass, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if sync, ok := containsLock(t); ok {
+				pass.Reportf(field.Type.Pos(), "%s of type %s passes %s by value; use a pointer",
+					what, types.TypeString(t, types.RelativeTo(pass.Pkg)), sync)
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkAssign flags assignments that copy a lock out of an existing
+// value. Fresh values (composite literals, new calls) are fine — only
+// copying something already addressable elsewhere duplicates lock state.
+func (l LockCopy) checkAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		if !isExistingValue(rhs) {
+			continue
+		}
+		t := pass.TypeOf(rhs)
+		if sync, ok := containsLock(t); ok {
+			pass.Reportf(as.Pos(), "assignment copies %s (via %s of type %s); copy a pointer instead",
+				sync, types.ExprString(rhs), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// checkRange flags `for _, v := range xs` where the element copy carries
+// a lock.
+func (l LockCopy) checkRange(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	t := pass.TypeOf(rs.Value)
+	if sync, ok := containsLock(t); ok {
+		pass.Reportf(rs.Value.Pos(), "range clause copies %s into %s (type %s); iterate by index or over pointers",
+			sync, types.ExprString(rs.Value), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// isExistingValue reports whether e denotes a value that already lives
+// somewhere (identifier, field, element, or dereference), as opposed to a
+// freshly constructed one.
+func isExistingValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isExistingValue(e.X)
+	}
+	return false
+}
+
+// containsLock reports whether t is, or transitively contains by value, a
+// sync primitive; it returns the name of the first one found.
+func containsLock(t types.Type) (string, bool) {
+	return lockIn(t, make(map[types.Type]bool))
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name(), true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, ok := lockIn(u.Field(i).Type(), seen); ok {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return "", false
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags slices that are appended to while ranging over a map and
+// then escape the function (returned, stored, sent, or passed on) without
+// ever being handed to a sort. Go randomizes map iteration order, so such
+// a slice has a different order on every run — precisely the bug class
+// that would silently break the miner-output ordering contract that
+// Parallel.Mine preserves today (Thm. 5.1's soundness/completeness
+// argument assumes deterministic, identically-ordered miner output).
+//
+// The check is a heuristic: any call into the sort or slices packages
+// that mentions the slice anywhere in the function counts as sorting it,
+// and local aggregation (summing, counting) never triggers it because the
+// slice must escape to be reported. Order-insensitive escapes (e.g.
+// feeding a mean) should carry a lint:ignore maporder directive saying so.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (MapOrder) Doc() string {
+	return "flags slices filled from a map range that escape the function without a deterministic sort; " +
+		"protects the miner's identically-ordered-output contract"
+}
+
+// Run implements Analyzer.
+func (m MapOrder) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					m.checkFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				m.checkFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mapAppend is one `s = append(s, ...)` inside a map-range body.
+type mapAppend struct {
+	obj types.Object
+	pos ast.Node
+}
+
+func (m MapOrder) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	candidates := m.collectMapAppends(pass, body)
+	if len(candidates) == 0 {
+		return
+	}
+	sorted := make(map[types.Object]bool)
+	escaped := make(map[types.Object]bool)
+	objs := make(map[types.Object]bool, len(candidates))
+	for _, c := range candidates {
+		objs[c.obj] = true
+	}
+	m.classifyUses(pass, body, objs, sorted, escaped)
+	for _, c := range candidates {
+		if escaped[c.obj] && !sorted[c.obj] {
+			pass.Reportf(c.pos.Pos(), "%s is appended to while ranging over a map and escapes without a deterministic sort; "+
+				"sort it (or lint:ignore with why order cannot matter)", c.obj.Name())
+		}
+	}
+}
+
+// collectMapAppends finds appends to named slices inside map-range bodies
+// belonging to this function (nested function literals are analyzed on
+// their own).
+func (m MapOrder) collectMapAppends(pass *Pass, body *ast.BlockStmt) []mapAppend {
+	var out []mapAppend
+	var walk func(n ast.Node, inMapRange bool)
+	walk = func(n ast.Node, inMapRange bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.RangeStmt:
+				_, isMap := typeUnder(pass.TypeOf(c.X)).(*types.Map)
+				walk(c.Body, inMapRange || isMap)
+				return false
+			case *ast.AssignStmt:
+				if inMapRange {
+					for i, rhs := range c.Rhs {
+						if i >= len(c.Lhs) {
+							break
+						}
+						if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+							if id, ok := c.Lhs[i].(*ast.Ident); ok {
+								if obj := pass.Info.ObjectOf(id); obj != nil {
+									out = append(out, mapAppend{obj: obj, pos: c})
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return out
+}
+
+// classifyUses walks the whole function body (including nested closures,
+// which share the enclosing scope) deciding, for each candidate slice,
+// whether it was sorted and whether it escapes.
+func (m MapOrder) classifyUses(pass *Pass, body *ast.BlockStmt, objs, sorted, escaped map[types.Object]bool) {
+	usesObj := func(n ast.Node, obj types.Object) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for obj := range objs {
+				if usesObj(n, obj) {
+					escaped[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			for obj := range objs {
+				if usesObj(n.Value, obj) {
+					escaped[obj] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if id, ok := unparen(elt).(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); objs[obj] {
+						escaped[obj] = true
+					}
+				}
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := unparen(kv.Value).(*ast.Ident); ok {
+						if obj := pass.Info.ObjectOf(id); objs[obj] {
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := unparen(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if !objs[obj] {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					escaped[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isSortCall(pass, n) {
+				for obj := range objs {
+					for _, arg := range n.Args {
+						if usesObj(arg, obj) {
+							sorted[obj] = true
+						}
+					}
+				}
+				return true
+			}
+			if fn, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if _, isB := pass.Info.ObjectOf(fn).(*types.Builtin); isB {
+					return true // append/len/cap/copy/delete never publish the slice
+				}
+			}
+			for _, arg := range n.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); objs[obj] {
+						escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSortCall reports whether call invokes a function from package sort or
+// slices.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.Info.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkg.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+// isBuiltin reports whether e names the given builtin function.
+func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isB
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// typeUnder is Underlying with a nil guard.
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

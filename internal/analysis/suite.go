@@ -1,0 +1,78 @@
+package analysis
+
+// DefaultAnalyzers returns the project suite, in the order findings are
+// attributed. Each analyzer guards one invariant the divergence engine's
+// correctness story depends on; see DESIGN.md ("Static analysis").
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		FloatCmp{},
+		ErrCheck{},
+		LockCopy{},
+		MapOrder{},
+		LibPrint{},
+	}
+}
+
+// Suite runs a set of analyzers over packages loaded by a single Loader.
+type Suite struct {
+	Loader    *Loader
+	Analyzers []Analyzer
+}
+
+// NewSuite builds a suite with the default analyzers over the module
+// rooted at moduleDir.
+func NewSuite(moduleDir string) (*Suite, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Loader: l, Analyzers: DefaultAnalyzers()}, nil
+}
+
+// RunDirs loads every directory as a package, runs all analyzers, applies
+// lint:ignore suppressions, and returns the surviving diagnostics in
+// deterministic order. Duplicate directories are analyzed once.
+func (s *Suite) RunDirs(dirs []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, dir := range dirs {
+		pkg, err := s.Loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		diags = append(diags, s.RunPackage(pkg)...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage runs every analyzer over one loaded package and filters the
+// findings through the package's lint:ignore directives. Malformed
+// directives are reported as diagnostics of the pseudo-analyzer "lint".
+func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range s.Analyzers {
+		pass := &Pass{
+			Fset:     s.Loader.Fset,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Files:    pkg.Files,
+			Info:     pkg.Info,
+			analyzer: a,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	index, malformed := collectSuppressions(s.Loader.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !index.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, malformed...)
+}

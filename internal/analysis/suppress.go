@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a finding:
+//
+//	// lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive applies to diagnostics on its own line (trailing comment)
+// and on the line immediately below (standalone comment above the
+// offending statement). The reason is mandatory: a directive without one
+// is itself reported as a malformed-suppression diagnostic, so every
+// silenced finding carries a recorded justification.
+const ignoreDirective = "lint:ignore"
+
+// suppressionIndex maps file -> line -> set of suppressed analyzer names.
+type suppressionIndex map[string]map[int]map[string]bool
+
+// collectSuppressions scans the comments of files for lint:ignore
+// directives. It returns the suppression index plus diagnostics for any
+// malformed directives (missing analyzer list or missing reason).
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
+	index := make(suppressionIndex)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. "lint:ignoreXYZ" is not the directive
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "lint",
+						Message:  `malformed suppression: want "lint:ignore <analyzer>[,<analyzer>] <reason>"`,
+					})
+					continue
+				}
+				byLine := index[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					index[pos.Filename] = byLine
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if byLine[line] == nil {
+							byLine[line] = make(map[string]bool)
+						}
+						byLine[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return index, malformed
+}
+
+// suppressed reports whether d is covered by a lint:ignore directive.
+func (s suppressionIndex) suppressed(d Diagnostic) bool {
+	byLine, ok := s[d.File]
+	if !ok {
+		return false
+	}
+	names, ok := byLine[d.Line]
+	if !ok {
+		return false
+	}
+	return names[d.Analyzer]
+}

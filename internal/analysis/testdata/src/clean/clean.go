@@ -1,0 +1,13 @@
+// Package clean has no findings; the driver must exit 0 on it.
+package clean
+
+import "sort"
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

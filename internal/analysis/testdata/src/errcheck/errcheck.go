@@ -1,0 +1,34 @@
+// Package errcheck exercises the errcheck analyzer: bare calls and go
+// statements that drop an error are flagged; explicit discards, defers,
+// terminal prints, and infallible writers are not.
+package errcheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, nil }
+
+func bad() {
+	mayFail()
+	twoResults()
+	go mayFail()
+}
+
+func allowed(f *os.File) {
+	_ = mayFail()
+	defer f.Close()
+	fmt.Println("best-effort terminal output")
+	fmt.Fprintf(os.Stderr, "best-effort %d\n", 1)
+	var buf bytes.Buffer
+	buf.WriteString("infallible")
+	fmt.Fprintf(&buf, "also infallible %d\n", 2)
+	var sb strings.Builder
+	sb.WriteString("infallible")
+}

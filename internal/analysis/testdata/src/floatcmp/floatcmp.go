@@ -1,0 +1,15 @@
+// Package floatcmp exercises the floatcmp analyzer: every flagged line
+// appears in the golden file; everything else must stay silent.
+package floatcmp
+
+func bad(a, b float64) bool { return a == b }
+
+func bad32(a float32, b float64) bool { return float64(a) != b }
+
+func badLiteral(a float64) bool { return a == 0 }
+
+func nanIdiomAllowed(x float64) bool { return x != x }
+
+func intsAllowed(a, b int) bool { return a == b }
+
+func orderingAllowed(a, b float64) bool { return a < b }

@@ -1,0 +1,26 @@
+// Package libprint exercises the libprint analyzer: because this fixture
+// package lives under internal/, stdout prints and process-control calls
+// are flagged; writes to an injected writer are not.
+package libprint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func bad(condition bool) {
+	fmt.Println("to stdout")
+	fmt.Printf("%d\n", 1)
+	if condition {
+		panic("boom")
+	}
+	log.Fatalf("dead %d", 2)
+	os.Exit(1)
+}
+
+func allowed(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "injected writer is fine %d\n", 3)
+	return err
+}

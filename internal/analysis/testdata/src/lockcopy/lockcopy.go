@@ -1,0 +1,53 @@
+// Package lockcopy exercises the lockcopy analyzer: sync primitives (and
+// structs containing them) passed, returned, assigned, or ranged-over by
+// value are flagged; pointers and fresh composite literals are not.
+package lockcopy
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func byValueResult(p *Guarded) Guarded { return *p }
+
+func assignCopy(src *Guarded) int {
+	c := *src
+	return c.n
+}
+
+func rangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+func wgByValue(wg sync.WaitGroup) { wg.Wait() }
+
+func pointerAllowed(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func freshAllowed() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+func indexAllowed(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

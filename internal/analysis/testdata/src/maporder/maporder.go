@@ -1,0 +1,72 @@
+// Package maporder exercises the maporder analyzer: slices appended to
+// under a map range and escaping unsorted are flagged; sorting anywhere
+// in the function, or keeping the slice local, silences the check.
+package maporder
+
+import "sort"
+
+type holder struct{ keys []string }
+
+func escapesUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func storedUnsorted(h *holder, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	h.keys = keys
+}
+
+func passedUnsorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	consume(keys)
+}
+
+func sortedAllowed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceAllowed(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func localAllowed(m map[string]int) int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	n := 0
+	for _, v := range vals {
+		n += v
+	}
+	return n
+}
+
+func sliceRangeAllowed(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func consume([]string) {}

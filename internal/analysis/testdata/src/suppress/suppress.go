@@ -1,0 +1,29 @@
+// Package suppress exercises lint:ignore handling: a well-formed
+// directive above or trailing the offending line silences that analyzer
+// only; naming the wrong analyzer leaves the finding; omitting the
+// reason is itself reported.
+package suppress
+
+func suppressedAbove(a, b float64) bool {
+	// lint:ignore floatcmp fixture: exactness is deliberate here
+	return a == b
+}
+
+func suppressedTrailing(a, b float64) bool {
+	return a != b // lint:ignore floatcmp fixture: trailing directives work too
+}
+
+func suppressedMulti(a, b float64) bool {
+	// lint:ignore floatcmp,errcheck fixture: multiple analyzers at once
+	return a == b
+}
+
+func wrongName(a, b float64) bool {
+	// lint:ignore errcheck fixture: names the wrong analyzer, finding survives
+	return a == b
+}
+
+func missingReason(a, b float64) bool {
+	// lint:ignore floatcmp
+	return a == b
+}

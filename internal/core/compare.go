@@ -68,9 +68,11 @@ func Compare(a, b *Result, m Metric) ([]PatternShift, error) {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ni, nj := math.Abs(out[i].NetShift), math.Abs(out[j].NetShift)
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if ni != nj {
 			return ni > nj
 		}
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if out[i].T != out[j].T {
 			return out[i].T > out[j].T
 		}

@@ -67,6 +67,7 @@ func (r *Result) CorrectiveItems(m Metric) []Corrective {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if out[i].Factor != out[j].Factor {
 			return out[i].Factor > out[j].Factor
 		}

@@ -139,6 +139,7 @@ func greaterGlobal(a, b ItemDivergenceComparison) bool {
 	if math.IsNaN(gb) {
 		gb = math.Inf(-1)
 	}
+	// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 	if ga != gb {
 		return ga > gb
 	}

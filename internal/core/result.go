@@ -239,12 +239,15 @@ func (r *Result) RankAll(m Metric, order RankOrder) []Ranked {
 	}
 	sort.Slice(rs, func(i, j int) bool {
 		ki, kj := key(rs[i]), key(rs[j])
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if ki != kj {
 			return ki > kj
 		}
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if rs[i].T != rs[j].T {
 			return rs[i].T > rs[j].T
 		}
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if rs[i].Support != rs[j].Support {
 			return rs[i].Support > rs[j].Support
 		}

@@ -85,6 +85,7 @@ func popcount(x int) int {
 // item id for determinism). It sorts in place and returns its argument.
 func SortContributions(cs []Contribution) []Contribution {
 	sort.Slice(cs, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if cs[i].Value != cs[j].Value {
 			return cs[i].Value > cs[j].Value
 		}

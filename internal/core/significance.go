@@ -112,10 +112,12 @@ func (r *Result) TopKCredible(m Metric, k int, level float64) []DivergenceCredib
 		out = append(out, DivergenceCredible{Ranked: rk, RateLo: lo, RateHi: hi, PosteriorSign: sign})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if out[i].PosteriorSign != out[j].PosteriorSign {
 			return out[i].PosteriorSign > out[j].PosteriorSign
 		}
 		di, dj := math.Abs(out[i].Divergence), math.Abs(out[j].Divergence)
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if di != dj {
 			return di > dj
 		}

@@ -113,6 +113,7 @@ type rankedHeap struct {
 func (h *rankedHeap) Len() int { return len(h.items) }
 func (h *rankedHeap) Less(i, j int) bool {
 	ki, kj := h.key(h.items[i].Divergence), h.key(h.items[j].Divergence)
+	// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 	if ki != kj {
 		return ki < kj
 	}

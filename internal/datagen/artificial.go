@@ -81,6 +81,7 @@ func artificialSized(seed int64, n int) *Generated {
 func trainRulePredictor(data *dataset.Dataset, clean []bool) []bool {
 	tree, err := classifier.TrainTree(data, clean, classifier.TreeConfig{})
 	if err != nil {
+		// lint:ignore libprint invariant: the synthetic dataset is constructed to be trainable
 		panic("datagen: training artificial-rule tree: " + err.Error())
 	}
 	pred := classifier.PredictAll(tree, data)

@@ -126,12 +126,14 @@ func buildDataset(names []string, cols [][]string) *dataset.Dataset {
 			rec[c] = cols[c][r]
 		}
 		if err := b.Add(rec...); err != nil {
+			// lint:ignore libprint invariant: generated records always fit the generated schema
 			panic(fmt.Sprintf("datagen: internal error building dataset: %v", err))
 		}
 	}
 	b.SortDomains()
 	d, err := b.Dataset()
 	if err != nil {
+		// lint:ignore libprint invariant: generated records always fit the generated schema
 		panic(fmt.Sprintf("datagen: internal error validating dataset: %v", err))
 	}
 	return d

@@ -53,6 +53,7 @@ func NewCutPoints(cuts []float64) (Binner, error) {
 }
 
 func formatCut(x float64) string {
+	// lint:ignore floatcmp exact integrality test only picks a print format
 	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
 		return strconv.FormatFloat(x, 'f', 0, 64)
 	}
@@ -79,6 +80,7 @@ func NewEqualWidth(xs []float64, n int) (Binner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// lint:ignore floatcmp exact min==max detects a constant column; no tolerance wanted
 	if lo == hi {
 		return nil, fmt.Errorf("discretize: constant column cannot be equal-width binned")
 	}

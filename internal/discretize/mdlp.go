@@ -78,6 +78,7 @@ func bestMDLPCut(ps []labeledValue, lo, hi int) (float64, bool) {
 		}
 	}
 	baseEnt := binaryEntropy(totalPos, n)
+	// lint:ignore floatcmp binary entropy is exactly 0 iff the labels are pure
 	if baseEnt == 0 {
 		return 0, false // pure segment
 	}
@@ -90,6 +91,7 @@ func bestMDLPCut(ps []labeledValue, lo, hi int) (float64, bool) {
 			leftPos++
 		}
 		// Candidate boundaries only between distinct values.
+		// lint:ignore floatcmp cut candidates lie between distinct values; exact duplicate test intended
 		if ps[i].x == ps[i+1].x {
 			continue
 		}

@@ -98,8 +98,8 @@ func runFig1(w io.Writer) error {
 			return err
 		}
 	}
-	fmt.Fprintln(w, "paper: splitting prior>3 exposes a finer interval (>7) with greater divergence")
-	return nil
+	_, err = fmt.Fprintln(w, "paper: splitting prior>3 exposes a finer interval (>7) with greater divergence")
+	return err
 }
 
 // runFig2 shows the local Shapley decomposition of the most FPR- and
@@ -159,9 +159,11 @@ func runFig3(w io.Writer) error {
 		return err
 	}
 	core.SortContributions(cs)
-	fmt.Fprintf(w, "corrective item %s for %s: Δ drops %s -> %s\n\n",
+	if _, err := fmt.Fprintf(w, "corrective item %s for %s: Δ drops %s -> %s\n\n",
 		a.db.Catalog.Name(c.Item), a.db.Catalog.Format(c.Base),
-		report.FormatFloat(c.BaseDiv), report.FormatFloat(c.ExtDiv))
+		report.FormatFloat(c.BaseDiv), report.FormatFloat(c.ExtDiv)); err != nil {
+		return err
+	}
 	chart := report.NewBarChart("item contributions to Δ_FPR of " + a.db.Catalog.Format(full))
 	negative := false
 	for _, x := range cs {
@@ -383,9 +385,11 @@ func runFig11(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "corrective item %s for %s: Δ_FNR %s -> %s\n\n",
+	if _, err := fmt.Fprintf(w, "corrective item %s for %s: Δ_FNR %s -> %s\n\n",
 		a.db.Catalog.Name(chosen.Item), a.db.Catalog.Format(chosen.Base),
-		report.FormatFloat(chosen.BaseDiv), report.FormatFloat(chosen.ExtDiv))
+		report.FormatFloat(chosen.BaseDiv), report.FormatFloat(chosen.ExtDiv)); err != nil {
+		return err
+	}
 	if _, err := io.WriteString(w, l.ASCII()); err != nil {
 		return err
 	}
@@ -402,8 +406,10 @@ func runFig12(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "injected bias: {%s}; biased model test accuracy %.3f\n\n",
-		res.InjectedPattern, res.BiasedAccuracy)
+	if _, err := fmt.Fprintf(w, "injected bias: {%s}; biased model test accuracy %.3f\n\n",
+		res.InjectedPattern, res.BiasedAccuracy); err != nil {
+		return err
+	}
 	groups := append([]userstudy.GroupResult(nil), res.Groups...)
 	sort.Slice(groups, func(i, j int) bool { return groups[i].Group < groups[j].Group })
 	hit := report.NewBarChart("full hit rate")

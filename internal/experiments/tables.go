@@ -25,8 +25,10 @@ func runTable1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "overall FPR = %s (paper: 0.088), overall FNR = %s (paper: 0.698)\n\n",
-		report.FormatFloat(r.GlobalRate(core.FPR)), report.FormatFloat(r.GlobalRate(core.FNR)))
+	if _, err := fmt.Fprintf(w, "overall FPR = %s (paper: 0.088), overall FNR = %s (paper: 0.698)\n\n",
+		report.FormatFloat(r.GlobalRate(core.FPR)), report.FormatFloat(r.GlobalRate(core.FNR))); err != nil {
+		return err
+	}
 
 	rows := []struct {
 		items  []string
@@ -47,7 +49,9 @@ func runTable1(w io.Writer) error {
 		}
 		rk, err := r.Describe(is, row.metric)
 		if err != nil {
-			fmt.Fprintf(w, "(skipping %v: %v)\n", row.items, err)
+			if _, err := fmt.Fprintf(w, "(skipping %v: %v)\n", row.items, err); err != nil {
+				return err
+			}
 			continue
 		}
 		tbl.AddRow(a.db.Catalog.Format(is), row.metric.Name, rk.Rate, row.paper)

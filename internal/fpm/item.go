@@ -205,9 +205,11 @@ func (c *Catalog) AttrName(attr int) string { return c.schema[attr].Name }
 // ItemFor returns the item for attribute attr with value code val.
 func (c *Catalog) ItemFor(attr int, val int32) Item {
 	if attr < 0 || attr >= len(c.schema) {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic(fmt.Sprintf("fpm: attribute index %d out of range", attr))
 	}
 	if val < 0 || int(val) >= c.schema[attr].Cardinality() {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic(fmt.Sprintf("fpm: value code %d out of range for attribute %q", val, c.schema[attr].Name))
 	}
 	return Item(c.base[attr] + val)

@@ -157,6 +157,7 @@ func (e *Explainer) Explain(row []int32) (Explanation, error) {
 	}
 	sort.Slice(out.Features, func(i, j int) bool {
 		wi, wj := math.Abs(out.Features[i].Weight), math.Abs(out.Features[j].Weight)
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if wi != wj {
 			return wi > wj
 		}
@@ -183,6 +184,7 @@ func AggregateWeights(explanations []Explanation) []FeatureWeight {
 		out = append(out, FeatureWeight{Attr: attrs[name], Name: name, Weight: w})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if out[i].Weight != out[j].Weight {
 			return out[i].Weight > out[j].Weight
 		}

@@ -36,6 +36,7 @@ func SubmodularPick(explanations []Explanation, k int) []int {
 	features := make([][]string, len(explanations))
 	for i, ex := range explanations {
 		for _, f := range ex.Features {
+			// lint:ignore floatcmp lasso zeros are exactly zero; this is a sparsity test, not a tolerance
 			if f.Weight != 0 {
 				features[i] = append(features[i], f.Name)
 			}

@@ -41,7 +41,7 @@ const MaxBodyBytes = 32 << 20
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok") // nothing to do if the client went away
 	})
 	mux.HandleFunc("GET /", handleIndex)
 	mux.HandleFunc("POST /analyze", handleAnalyze)
@@ -54,7 +54,7 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, indexHTML)
+	_, _ = io.WriteString(w, indexHTML) // nothing to do if the client went away
 }
 
 const indexHTML = `<!DOCTYPE html>
@@ -225,7 +225,7 @@ func handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(out)
+		_, _ = w.Write(out) // nothing to do if the client went away
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
 		if err := res.WriteCSV(w, req.metrics[0], core.ByDivergence); err != nil {

@@ -24,6 +24,7 @@ func BetaVariance(alpha, beta float64) float64 {
 
 func checkBetaParams(alpha, beta float64) {
 	if !(alpha > 0) || !(beta > 0) {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: Beta parameters must be positive")
 	}
 }
@@ -43,6 +44,7 @@ type PosteriorRate struct {
 // tallying and always indicate a caller bug.
 func NewPosteriorRate(kPos, kNeg float64) PosteriorRate {
 	if kPos < 0 || kNeg < 0 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: negative observation counts")
 	}
 	return PosteriorRate{KPos: kPos, KNeg: kNeg}
@@ -70,11 +72,14 @@ func (p PosteriorRate) StdDev() float64 { return math.Sqrt(p.Variance()) }
 // otherwise.
 func WelchT(mu1, v1, mu2, v2 float64) float64 {
 	if v1 < 0 || v2 < 0 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: negative variance")
 	}
 	num := math.Abs(mu1 - mu2)
 	den := math.Sqrt(v1 + v2)
+	// lint:ignore floatcmp exact zero guard before division; exactness is the point
 	if den == 0 {
+		// lint:ignore floatcmp zero difference over zero variance is the exact degenerate case
 		if num == 0 {
 			return 0
 		}

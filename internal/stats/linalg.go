@@ -32,6 +32,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
+			// lint:ignore floatcmp exactly-zero factor makes the elimination row a no-op; skip is exact
 			if f == 0 {
 				continue
 			}
@@ -80,6 +81,7 @@ func RidgeRegression(xs [][]float64, ys, weights []float64, lambda float64) ([]f
 		xi[d] = 1
 		w := weights[s]
 		for i := 0; i < m; i++ {
+			// lint:ignore floatcmp skipping exactly-zero design entries cannot change the sum
 			if xi[i] == 0 {
 				continue
 			}

@@ -22,6 +22,7 @@ var factorials = func() [maxFactorial + 1]float64 {
 // (beyond float64 range); itemset and attribute counts never get close.
 func Factorial(n int) float64 {
 	if n < 0 || n > maxFactorial {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: factorial argument out of range")
 	}
 	return factorials[n]
@@ -32,6 +33,7 @@ func Factorial(n int) float64 {
 // is the size of the sub-coalition the item joins. Requires 0 ≤ j < n.
 func ShapleyWeight(j, n int) float64 {
 	if n <= 0 || j < 0 || j >= n {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: invalid Shapley weight arguments")
 	}
 	return Factorial(j) * Factorial(n-j-1) / Factorial(n)
@@ -45,6 +47,7 @@ func ShapleyWeight(j, n int) float64 {
 // being measured. Requires b ≥ 0, size ≥ 1, b+size ≤ total.
 func GlobalShapleyWeight(b, size, total int) float64 {
 	if b < 0 || size < 1 || b+size > total {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: invalid global Shapley weight arguments")
 	}
 	return Factorial(b) * Factorial(total-b-size) / Factorial(total)

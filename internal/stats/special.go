@@ -15,6 +15,7 @@ import "math"
 func RegIncompleteBeta(a, b, x float64) float64 {
 	switch {
 	case !(a > 0) || !(b > 0):
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: RegIncompleteBeta requires positive parameters")
 	case x <= 0:
 		return 0
@@ -98,6 +99,7 @@ func BetaCDF(alpha, beta, x float64) float64 {
 func BetaQuantile(alpha, beta, q float64) float64 {
 	checkBetaParams(alpha, beta)
 	if q < 0 || q > 1 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: quantile fraction out of range")
 	}
 	lo, hi := 0.0, 1.0
@@ -116,6 +118,7 @@ func BetaQuantile(alpha, beta, q float64) float64 {
 // the posterior rate at the given level (e.g. 0.95).
 func (p PosteriorRate) CredibleInterval(level float64) (lo, hi float64) {
 	if level <= 0 || level >= 1 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: credible level out of (0,1)")
 	}
 	tail := (1 - level) / 2
@@ -139,6 +142,7 @@ func (p PosteriorRate) TailProb(r float64) float64 {
 // of freedom, via the incomplete beta identity.
 func StudentTCDF(t, df float64) float64 {
 	if df <= 0 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: non-positive degrees of freedom")
 	}
 	if math.IsInf(t, 1) {

@@ -55,9 +55,11 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 // a q outside [0, 1]. The input is not modified.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
 		panic("stats: quantile fraction out of range")
 	}
 	sorted := append([]float64(nil), xs...)
@@ -85,7 +87,9 @@ func CohenD(a, b []float64) float64 {
 	va, vb := SampleVariance(a), SampleVariance(b)
 	pooled := math.Sqrt(((na-1)*va + (nb-1)*vb) / (na + nb - 2))
 	diff := Mean(a) - Mean(b)
+	// lint:ignore floatcmp exact zero guard before division; exactness is the point
 	if pooled == 0 {
+		// lint:ignore floatcmp zero difference over zero deviation is the exact degenerate case
 		if diff == 0 {
 			return 0
 		}
@@ -111,7 +115,9 @@ func TwoSampleWelchT(a, b []float64) (t, df float64) {
 	}
 	va, vb := SampleVariance(a)/na, SampleVariance(b)/nb
 	den := math.Sqrt(va + vb)
+	// lint:ignore floatcmp exact zero guard before division; exactness is the point
 	if den == 0 {
+		// lint:ignore floatcmp equal means over zero variance is the exact degenerate case
 		if Mean(a) == Mean(b) {
 			return 0, na + nb - 2
 		}
@@ -119,6 +125,7 @@ func TwoSampleWelchT(a, b []float64) (t, df float64) {
 	}
 	t = (Mean(a) - Mean(b)) / den
 	dfDen := va*va/(na-1) + vb*vb/(nb-1)
+	// lint:ignore floatcmp exact zero guard before division; exactness is the point
 	if dfDen == 0 {
 		df = na + nb - 2
 	} else {

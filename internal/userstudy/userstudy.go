@@ -478,6 +478,7 @@ func limeCandidates(test *dataset.Dataset, testTruth, testPred []bool, model *cl
 		pairs = append(pairs, scoredPair{pairPat[k], w})
 	}
 	sort.Slice(pairs, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if pairs[i].w != pairs[j].w {
 			return pairs[i].w > pairs[j].w
 		}
@@ -553,6 +554,7 @@ func controlCandidates(test *dataset.Dataset, testTruth, testPred []bool, rng *r
 		singles = append(singles, scored{newPattern(name), lift})
 	}
 	sort.Slice(singles, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if singles[i].lift != singles[j].lift {
 			return singles[i].lift > singles[j].lift
 		}
@@ -571,6 +573,7 @@ func controlCandidates(test *dataset.Dataset, testTruth, testPred []bool, rng *r
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
 		if pairs[i].lift != pairs[j].lift {
 			return pairs[i].lift > pairs[j].lift
 		}

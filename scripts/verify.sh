@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# verify.sh — the full correctness gate for this repository.
+#
+# Runs, in order:
+#   1. go build ./...              compile everything
+#   2. go vet ./...                the stock vet analyzers
+#   3. go run ./cmd/divlint ./...  the project-invariant suite
+#                                  (floatcmp, errcheck, lockcopy,
+#                                  maporder, libprint; see DESIGN.md)
+#   4. go test -race ./...         all tests under the race detector;
+#                                  the Parallel-vs-FPGrowth stress test
+#                                  is this tier's primary target
+#
+# Exits non-zero on the first failing step. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> divlint ./..."
+go run ./cmd/divlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
