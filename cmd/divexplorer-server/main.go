@@ -1,31 +1,95 @@
 // Command divexplorer-server runs the DivExplorer HTTP API: POST a CSV
-// to /analyze and receive the divergence analysis as JSON, CSV or an
-// HTML report. See internal/server for the endpoint documentation.
+// to /analyze for a synchronous divergence analysis, or use the job API
+// (POST /datasets, POST /jobs, GET /jobs/{id}) to mine asynchronously on
+// a bounded worker pool. See internal/server for endpoint documentation.
 //
-//	divexplorer-server -addr :8080
+//	divexplorer-server -addr :8080 -workers 4 -job-timeout 5m
 //	curl --data-binary @data.csv 'http://localhost:8080/analyze?truth=label&pred=predicted&format=html'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/jobs"
+	"repro/internal/registry"
 	"repro/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "max queued jobs before submissions get HTTP 429")
+		datasetCache = flag.Int64("dataset-cache-bytes", server.DefaultDatasetCacheBytes,
+			"dataset registry budget in bytes (0 = unlimited)")
+		resultCache = flag.Int("result-cache", 128, "result cache capacity in entries")
+		jobTimeout  = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline (0 = none)")
+		maxBody     = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes,
+			"max request body size in bytes; larger uploads get HTTP 413")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long shutdown waits for queued jobs before canceling them")
+	)
 	flag.Parse()
+
+	reg := registry.New(*datasetCache)
+	engine, err := jobs.New(jobs.Config{
+		Registry:           reg,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		ResultCacheEntries: *resultCache,
+		DefaultTimeout:     *jobTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	api, err := server.New(server.Options{
+		MaxBodyBytes: *maxBody,
+		Registry:     reg,
+		Engine:       engine,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 	}
-	log.Printf("divexplorer-server listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("divexplorer-server listening on %s (workers=%d queue=%d)",
+		*addr, engine.Stats().Workers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain the job
+	// queue so accepted work still completes (up to the drain timeout).
+	log.Printf("shutting down: draining jobs (timeout %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := api.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("engine shutdown: %v", err)
+	}
+	log.Print("bye")
 }

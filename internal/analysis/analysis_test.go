@@ -68,6 +68,7 @@ func TestFixtureDiagnostics(t *testing.T) {
 		{"lockcopy", true},
 		{"maporder", true},
 		{"internal/libprint", true},
+		{"goleak", true},
 		{"suppress", true},
 		{"clean", false},
 	}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak flags `go` statements that start a goroutine with no visible
+// shutdown path. The job engine and the HTTP server promise a graceful
+// drain — Shutdown returns only after every worker has exited — and that
+// promise holds only if every goroutine is reachable by a cancellation
+// signal. A goroutine counts as shutdown-aware when its body or its
+// arguments mention an expression typed as a channel, a context.Context,
+// or a sync.WaitGroup (directly or through a pointer): those are the
+// three ways this codebase wires termination. For a named callee the
+// analyzer looks through same-package function bodies; for callees
+// defined elsewhere it falls back to the signature.
+//
+// The check is a heuristic. A goroutine that provably terminates on its
+// own (a bounded loop doing pure computation) should carry a
+// lint:ignore goleak directive saying why it cannot leak.
+type GoLeak struct{}
+
+// Name implements Analyzer.
+func (GoLeak) Name() string { return "goleak" }
+
+// Doc implements Analyzer.
+func (GoLeak) Doc() string {
+	return "flags go statements with no visible shutdown path (no channel, context.Context, or sync.WaitGroup " +
+		"in the goroutine's body or arguments); protects the engine's graceful-drain contract"
+}
+
+// Run implements Analyzer.
+func (g GoLeak) Run(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !g.hasShutdownPath(pass, decls, gs.Call) {
+				pass.Reportf(gs.Pos(), "goroutine has no visible shutdown path (no channel, context, or WaitGroup in body or arguments) "+
+					"and can outlive its owner; wire a cancellation signal, or lint:ignore with why it terminates")
+			}
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes the package's function and method declarations
+// by their type-checker objects, so named go-callees can be resolved to
+// their bodies.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pass.Info.ObjectOf(fd.Name); obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// hasShutdownPath reports whether the spawned call is reachable by a
+// termination signal: a signal-typed expression in its arguments, in its
+// function-literal body, or — for a named same-package callee — in that
+// function's body. Unknown callees are judged by their parameter types.
+func (g GoLeak) hasShutdownPath(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if mentionsSignalType(pass, arg) {
+			return true
+		}
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return mentionsSignalType(pass, fun.Body)
+	case *ast.Ident:
+		return calleeHasShutdownPath(pass, decls, pass.Info.ObjectOf(fun))
+	case *ast.SelectorExpr:
+		// A method value `go e.worker()` can also receive its signal
+		// through the receiver expression (e.g. a struct holding the
+		// queue channel is still opaque here, but `go ch.drain()` on a
+		// channel-typed receiver is visible).
+		if mentionsSignalType(pass, fun.X) {
+			return true
+		}
+		return calleeHasShutdownPath(pass, decls, pass.Info.ObjectOf(fun.Sel))
+	}
+	return false
+}
+
+// calleeHasShutdownPath inspects a resolved callee: its body when it is
+// declared in this package, its signature otherwise.
+func calleeHasShutdownPath(pass *Pass, decls map[types.Object]*ast.FuncDecl, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if fd, ok := decls[obj]; ok && fd.Body != nil {
+		return mentionsSignalType(pass, fd.Body)
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSignalType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsSignalType reports whether any expression under n has a
+// channel, context.Context, or sync.WaitGroup type.
+func mentionsSignalType(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := c.(ast.Expr); ok && isSignalType(pass.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSignalType recognizes the three termination-signal types, through
+// pointers.
+func isSignalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+		return true
+	}
+	return false
+}

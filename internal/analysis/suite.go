@@ -10,6 +10,7 @@ func DefaultAnalyzers() []Analyzer {
 		LockCopy{},
 		MapOrder{},
 		LibPrint{},
+		GoLeak{},
 	}
 }
 

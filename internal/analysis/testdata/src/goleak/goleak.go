@@ -1,0 +1,62 @@
+// Package goleak exercises the goleak analyzer: goroutines with no
+// visible shutdown path are flagged; goroutines that mention a channel,
+// context, or WaitGroup — in their body, arguments, or same-package
+// callee — are not.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func spin() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+func bad() {
+	go spin()
+	go func() {
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func allowed(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-ctx.Done()
+	}()
+	go func() {
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+	go waiter(done)
+	go watcher(ctx)
+}
+
+// waiter blocks on its channel argument; the channel in the call's
+// arguments is the visible shutdown path.
+func waiter(done chan struct{}) { <-done }
+
+// watcher takes a context, visible both in the argument and in the
+// same-package body.
+func watcher(ctx context.Context) { <-ctx.Done() }
+
+// justified is a provably-terminating goroutine: the loop is bounded, so
+// the finding is suppressed with the reason.
+func justified() {
+	// lint:ignore goleak bounded loop, terminates after ten iterations
+	go func() {
+		for i := 0; i < 10; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

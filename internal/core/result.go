@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,6 +41,15 @@ type Options struct {
 // Explore runs Algorithm 1: mine all itemsets with support >= minSup and
 // collect their outcome tallies.
 func Explore(db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
+	return ExploreContext(context.Background(), db, minSup, opts)
+}
+
+// ExploreContext is Explore under a context: when the configured miner
+// supports cancellation (fpm.ContextMiner), a canceled context aborts the
+// mine at the next tree-recursion boundary and the error wraps ctx.Err().
+// The async job engine and the HTTP server use this so canceled jobs and
+// disconnected clients stop burning CPU.
+func ExploreContext(ctx context.Context, db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
 	if minSup < 0 || minSup > 1 {
 		return nil, fmt.Errorf("core: support threshold %v out of [0,1]", minSup)
 	}
@@ -48,7 +58,7 @@ func Explore(db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
 		miner = fpm.FPGrowth{}
 	}
 	minCount := fpm.MinCount(db.NumRows(), minSup)
-	mined, err := miner.Mine(db, minCount)
+	mined, err := fpm.MineWith(ctx, miner, db, minCount)
 	if err != nil {
 		return nil, fmt.Errorf("core: mining: %w", err)
 	}

@@ -1,6 +1,7 @@
 package fpm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -111,7 +112,14 @@ func buildTree(txs []weightedTx, minCount int64, order map[Item]int) *fpTree {
 }
 
 // Mine implements Miner.
-func (FPGrowth) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
+func (g FPGrowth) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
+	return g.MineContext(context.Background(), db, minCount)
+}
+
+// MineContext implements ContextMiner: identical output to Mine, but the
+// tree recursion checks the context at every conditional-tree boundary
+// and aborts with an error wrapping ctx.Err() once it is canceled.
+func (FPGrowth) MineContext(ctx context.Context, db *TxDB, minCount int64) ([]FrequentPattern, error) {
 	if minCount < 1 {
 		return nil, fmt.Errorf("fpm: minCount %d < 1", minCount)
 	}
@@ -166,7 +174,9 @@ func (FPGrowth) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
 	tree := buildTree(txs, minCount, order)
 
 	var out []FrequentPattern
-	mineTree(tree, nil, minCount, &out)
+	if err := mineTree(ctx, tree, nil, minCount, &out); err != nil {
+		return nil, err
+	}
 
 	// Canonicalize: sort items within each pattern, then sort the output
 	// for deterministic downstream consumption.
@@ -189,8 +199,14 @@ func lessItemsets(a, b Itemset) bool {
 }
 
 // mineTree recursively mines an FP-tree. suffix is the pattern that
-// conditioned this tree; every frequent item in the tree extends it.
-func mineTree(t *fpTree, suffix Itemset, minCount int64, out *[]FrequentPattern) {
+// conditioned this tree; every frequent item in the tree extends it. The
+// context is checked once per invocation — i.e. at every conditional-tree
+// recursion boundary — so cancellation latency is bounded by the work of
+// a single tree level, not a whole mine.
+func mineTree(ctx context.Context, t *fpTree, suffix Itemset, minCount int64, out *[]FrequentPattern) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("fpm: mining canceled: %w", err)
+	}
 	// Deterministic iteration order over header items.
 	items := make([]Item, 0, len(t.totals))
 	for it := range t.totals {
@@ -220,7 +236,10 @@ func mineTree(t *fpTree, suffix Itemset, minCount int64, out *[]FrequentPattern)
 		}
 		cond := buildTree(base, minCount, t.order)
 		if len(cond.totals) > 0 {
-			mineTree(cond, pattern, minCount, out)
+			if err := mineTree(ctx, cond, pattern, minCount, out); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

@@ -1,10 +1,12 @@
 package fpm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Parallel is a parallel FP-growth miner: after the initial FP-tree is
@@ -16,6 +18,12 @@ import (
 type Parallel struct {
 	// Workers bounds the pool size; runtime.GOMAXPROCS(0) when <= 0.
 	Workers int
+	// Progress, when non-nil, is called after each per-item subproblem
+	// completes with the number of finished subproblems and the total.
+	// It may be called concurrently from several workers and must be
+	// cheap and non-blocking; the job engine feeds it into per-job
+	// progress counters.
+	Progress func(done, total int)
 }
 
 // Name implements Miner.
@@ -23,6 +31,13 @@ func (p Parallel) Name() string { return "fpgrowth-parallel" }
 
 // Mine implements Miner.
 func (p Parallel) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
+	return p.MineContext(context.Background(), db, minCount)
+}
+
+// MineContext implements ContextMiner. Workers check the context before
+// starting each per-item subproblem and inside the tree recursion, so a
+// canceled mine stops within one conditional-tree step per worker.
+func (p Parallel) MineContext(ctx context.Context, db *TxDB, minCount int64) ([]FrequentPattern, error) {
 	if minCount < 1 {
 		return nil, fmt.Errorf("fpm: minCount %d < 1", minCount)
 	}
@@ -41,10 +56,16 @@ func (p Parallel) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 
-	results := make([][]FrequentPattern, len(items))
+	total := len(items)
+	results := make([][]FrequentPattern, total)
+	errs := make([]error, total)
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	for idx, it := range items {
+		if ctx.Err() != nil {
+			break // canceled: stop scheduling new subproblems
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(idx int, it Item) {
@@ -52,10 +73,26 @@ func (p Parallel) Mine(db *TxDB, minCount int64) ([]FrequentPattern, error) {
 				<-sem
 				wg.Done()
 			}()
-			results[idx] = mineItemSubproblem(tree, it, minCount)
+			rs, err := mineItemSubproblem(ctx, tree, it, minCount)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			results[idx] = rs
+			if p.Progress != nil {
+				p.Progress(int(done.Add(1)), total)
+			}
 		}(idx, it)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fpm: mining canceled: %w", err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
 
 	var out []FrequentPattern
 	for _, rs := range results {
@@ -119,7 +156,7 @@ func buildInitialTree(db *TxDB, minCount int64) (*fpTree, error) {
 // mineItemSubproblem emits the pattern {it} plus everything mined from
 // it's conditional tree. It only reads the shared initial tree, so
 // concurrent invocations are safe.
-func mineItemSubproblem(tree *fpTree, it Item, minCount int64) []FrequentPattern {
+func mineItemSubproblem(ctx context.Context, tree *fpTree, it Item, minCount int64) ([]FrequentPattern, error) {
 	out := []FrequentPattern{{Items: Itemset{it}, Tally: tree.totals[it]}}
 	var base []weightedTx
 	for n := tree.headers[it]; n != nil; n = n.hlink {
@@ -133,11 +170,13 @@ func mineItemSubproblem(tree *fpTree, it Item, minCount int64) []FrequentPattern
 		base = append(base, weightedTx{items: path, w: n.tally})
 	}
 	if len(base) == 0 {
-		return out
+		return out, nil
 	}
 	cond := buildTree(base, minCount, tree.order)
 	if len(cond.totals) > 0 {
-		mineTree(cond, Itemset{it}, minCount, &out)
+		if err := mineTree(ctx, cond, Itemset{it}, minCount, &out); err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+// AnalyzeFunc runs one analysis over an already-parsed dataset. progress
+// may be nil; when non-nil it receives (completed, total) mining
+// subproblem counts and may be called concurrently. The default is
+// RunAnalysis; tests and alternative backends substitute their own.
+type AnalyzeFunc func(ctx context.Context, data *dataset.Dataset, spec Spec, progress func(done, total int)) (*core.Result, error)
+
+// RunAnalysis is the built-in DivExplorer pipeline: extract the Boolean
+// truth/prediction columns, derive confusion classes, and mine the full
+// lattice with the parallel FP-growth miner under ctx. Input-shaped
+// failures wrap ErrBadInput so the HTTP layer can distinguish a bad
+// request from an internal fault.
+func RunAnalysis(ctx context.Context, data *dataset.Dataset, spec Spec, progress func(done, total int)) (*core.Result, error) {
+	truth, pred, rest, err := extractLabels(data, spec.TruthCol, spec.PredCol)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	db, err := fpm.NewTxDB(rest, classes, core.NumConfusionClasses)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if spec.Support < 0 || spec.Support > 1 {
+		return nil, fmt.Errorf("%w: support %v out of [0,1]", ErrBadInput, spec.Support)
+	}
+	miner := fpm.Parallel{Progress: progress}
+	return core.ExploreContext(ctx, db, spec.Support, core.Options{Miner: miner})
+}
+
+// extractLabels pulls and removes the Boolean label columns. The input
+// dataset is not modified; mining runs on the returned copy.
+func extractLabels(d *dataset.Dataset, truthCol, predCol string) (truth, pred []bool, out *dataset.Dataset, err error) {
+	parse := func(col string) ([]bool, error) {
+		idx := d.AttrIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("unknown column %q", col)
+		}
+		vals := make([]bool, d.NumRows())
+		for r := range d.Rows {
+			switch strings.ToLower(d.Value(r, idx)) {
+			case "1", "true", "t", "yes", "y":
+				vals[r] = true
+			case "0", "false", "f", "no", "n":
+				vals[r] = false
+			default:
+				return nil, fmt.Errorf("row %d: column %q value %q is not Boolean",
+					r, col, d.Value(r, idx))
+			}
+		}
+		return vals, nil
+	}
+	if truth, err = parse(truthCol); err != nil {
+		return nil, nil, nil, err
+	}
+	if pred, err = parse(predCol); err != nil {
+		return nil, nil, nil, err
+	}
+	out, err = d.DropAttrs(truthCol, predCol)
+	return truth, pred, out, err
+}

@@ -1,0 +1,318 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Config configures an Engine. The zero value of each field selects a
+// sensible default; Registry is required.
+type Config struct {
+	// Registry resolves dataset hashes to parsed datasets. Required.
+	Registry *registry.Registry
+	// Workers bounds the worker pool; runtime.GOMAXPROCS(0) when <= 0.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// 64 when <= 0. A full queue rejects with ErrQueueFull.
+	QueueDepth int
+	// ResultCacheEntries bounds the result LRU; 128 when <= 0.
+	ResultCacheEntries int
+	// DefaultTimeout is the per-job deadline applied when a Spec carries
+	// none; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// Analyze runs one analysis; RunAnalysis when nil. Tests substitute
+	// controllable implementations, and it is the seam for alternative
+	// mining backends.
+	Analyze AnalyzeFunc
+}
+
+// Stats is a point-in-time snapshot of the engine counters for /statsz.
+type Stats struct {
+	Workers     int        `json:"workers"`
+	Busy        int        `json:"busy"`
+	QueueLen    int        `json:"queue_len"`
+	QueueCap    int        `json:"queue_cap"`
+	Submitted   int64      `json:"submitted"`
+	Completed   int64      `json:"completed"`
+	Failed      int64      `json:"failed"`
+	Canceled    int64      `json:"canceled"`
+	Rejected    int64      `json:"rejected"`
+	ResultCache CacheStats `json:"result_cache"`
+}
+
+// Engine is the asynchronous analysis-job engine: a bounded worker pool
+// consuming a bounded queue, with an LRU cache of mined results. All
+// methods are safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	reg     *registry.Registry
+	analyze AnalyzeFunc
+	cache   *resultCache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.RWMutex // guards queue-close vs. submit
+	draining bool
+	queue    chan *Job
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+
+	workers int
+	wg      sync.WaitGroup
+
+	busy      atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+}
+
+// New starts an engine with cfg.Workers workers. Call Shutdown to drain.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("jobs: Config.Registry is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	cacheEntries := cfg.ResultCacheEntries
+	if cacheEntries <= 0 {
+		cacheEntries = 128
+	}
+	analyze := cfg.Analyze
+	if analyze == nil {
+		analyze = RunAnalysis
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		analyze:    analyze,
+		cache:      newResultCache(cacheEntries),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, depth),
+		jobs:       make(map[string]*Job),
+		workers:    workers,
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// worker consumes the queue until it is closed by Shutdown.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.run(job)
+	}
+}
+
+// Submit enqueues a job for spec. It never blocks: a full queue returns
+// ErrQueueFull (the backpressure contract), a draining engine returns
+// ErrShuttingDown.
+func (e *Engine) Submit(spec Spec) (*Job, error) {
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{id: id, spec: spec, state: StateQueued, created: time.Now()}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.draining {
+		e.rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	e.jobsMu.Lock()
+	e.jobs[id] = job
+	e.jobsMu.Unlock()
+	select {
+	case e.queue <- job:
+		e.submitted.Add(1)
+		return job, nil
+	default:
+		e.jobsMu.Lock()
+		delete(e.jobs, id)
+		e.jobsMu.Unlock()
+		e.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job with the given id.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. A queued job is canceled
+// immediately; a running job has its context canceled and reaches the
+// canceled state once the miner observes it. Terminal jobs are left
+// untouched. The returned status reflects the state after the request.
+func (e *Engine) Cancel(id string) (Status, error) {
+	job, ok := e.Get(id)
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	job.canceledByUser.Store(true)
+	job.mu.Lock()
+	switch job.state {
+	case StateQueued:
+		job.state = StateCanceled
+		job.finished = time.Now()
+		e.canceled.Add(1)
+	case StateRunning:
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	job.mu.Unlock()
+	return job.Snapshot(), nil
+}
+
+// run executes one dequeued job through the full lifecycle.
+func (e *Engine) run(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	timeout := job.spec.Timeout
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	e.busy.Add(1)
+	defer e.busy.Add(-1)
+
+	res, cacheHit, err := e.analyzeCached(ctx, job.spec, func(done, total int) {
+		job.progressDone.Store(int64(done))
+		job.progressTotal.Store(int64(total))
+	})
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = time.Now()
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = res
+		job.cacheHit = cacheHit
+		e.completed.Add(1)
+	case errors.Is(err, context.Canceled) || (job.canceledByUser.Load() && ctx.Err() != nil):
+		job.state = StateCanceled
+		job.err = err
+		e.canceled.Add(1)
+	default:
+		// Deadline expiry and analysis errors are failures, not
+		// user-requested cancellations.
+		job.state = StateFailed
+		job.err = err
+		e.failed.Add(1)
+	}
+}
+
+// Analyze runs a spec synchronously through the same result cache the
+// worker pool uses — the /analyze fast path. It does not consume a
+// worker slot or a queue position.
+func (e *Engine) Analyze(ctx context.Context, spec Spec) (*core.Result, error) {
+	res, _, err := e.analyzeCached(ctx, spec, nil)
+	return res, err
+}
+
+// analyzeCached consults the result cache, mining on a miss.
+func (e *Engine) analyzeCached(ctx context.Context, spec Spec, progress func(done, total int)) (*core.Result, bool, error) {
+	key := spec.CacheKey()
+	if res, ok := e.cache.get(key); ok {
+		return res, true, nil
+	}
+	entry, ok := e.reg.Get(spec.Dataset)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: dataset %s not registered (or evicted)", ErrBadInput, spec.Dataset)
+	}
+	res, err := e.analyze(ctx, entry.Data, spec, progress)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(key, res)
+	return res, false, nil
+}
+
+// Shutdown drains the engine: no new submissions are accepted, queued
+// jobs are still executed, and the call returns once every worker has
+// exited. If ctx expires first, in-flight jobs are canceled and awaited;
+// the context error is returned. Shutdown is idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	alreadyDraining := e.draining
+	if !alreadyDraining {
+		e.draining = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		e.baseCancel()
+		return nil
+	case <-ctx.Done():
+		e.baseCancel() // abort in-flight jobs, then wait for workers
+		<-drained
+		return fmt.Errorf("jobs: shutdown deadline: %w", ctx.Err())
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:     e.workers,
+		Busy:        int(e.busy.Load()),
+		QueueLen:    len(e.queue),
+		QueueCap:    cap(e.queue),
+		Submitted:   e.submitted.Load(),
+		Completed:   e.completed.Load(),
+		Failed:      e.failed.Load(),
+		Canceled:    e.canceled.Load(),
+		Rejected:    e.rejected.Load(),
+		ResultCache: e.cache.stats(),
+	}
+}

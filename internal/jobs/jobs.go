@@ -1,0 +1,197 @@
+// Package jobs is the asynchronous analysis-job engine: a bounded worker
+// pool runs DivExplorer explorations (via the parallel FP-growth path)
+// off the request goroutine, with a full job lifecycle
+//
+//	queued → running → done | failed | canceled
+//
+// per-job context cancellation and deadline, a bounded queue with
+// explicit backpressure (ErrQueueFull instead of unbounded growth), an
+// LRU result cache keyed by the analysis inputs, and graceful drain on
+// shutdown. Datasets are referenced by content hash through
+// internal/registry, so identical uploads mine at most once and repeat
+// requests are served from the cache.
+package jobs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Typed errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity; the server maps it to HTTP 429. Callers should retry
+	// later rather than block.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown is returned by Submit after Shutdown started.
+	ErrShuttingDown = errors.New("jobs: engine shutting down")
+	// ErrUnknownJob is returned for job ids the engine has never seen.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrBadInput wraps analysis failures caused by the request itself
+	// (unknown columns, non-Boolean labels, bad support) as opposed to
+	// internal faults; the server maps it to HTTP 400.
+	ErrBadInput = errors.New("jobs: bad input")
+)
+
+// State is a job lifecycle state.
+type State int
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+// String returns the wire name of the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec describes one analysis: which dataset (by content hash), which
+// label columns, and the exploration parameters. Metrics, TopK, Epsilon
+// and Alpha shape the rendered report; the mined result depends only on
+// the dataset, the label columns and the support threshold.
+type Spec struct {
+	Dataset  registry.Hash
+	TruthCol string
+	PredCol  string
+	Support  float64
+	Metrics  []string // metric names, e.g. "FPR"; validated by the caller
+	Epsilon  float64
+	TopK     int
+	Alpha    float64
+	// Timeout overrides the engine's default per-job deadline when > 0.
+	Timeout time.Duration
+}
+
+// CacheKey identifies the cached mining result for a spec. It covers
+// every input the mined lattice depends on — dataset hash, label
+// columns, support — plus the metric list and epsilon so a cached entry
+// always reproduces the full request byte-for-byte. Render-only knobs
+// (TopK, Alpha, Timeout) are deliberately excluded.
+func (s Spec) CacheKey() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	parts := []string{
+		string(s.Dataset), s.TruthCol, s.PredCol,
+		f(s.Support), strings.Join(s.Metrics, ","), f(s.Epsilon),
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Job is one submitted analysis. All exported access goes through
+// Snapshot; the engine owns the mutable state.
+type Job struct {
+	id   string
+	spec Spec
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	result   *core.Result
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   func() // non-nil only while running
+
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
+
+	canceledByUser atomic.Bool
+}
+
+// ID returns the job's opaque identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the submitted spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Result returns the mined result once the job is done.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", j.id, j.state)
+	}
+}
+
+// Status is an immutable snapshot of a job's externally visible state.
+type Status struct {
+	ID       string
+	Spec     Spec
+	State    State
+	Err      string
+	CacheHit bool
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+	// ProgressDone/ProgressTotal count completed mining subproblems;
+	// both are zero until the first subproblem finishes.
+	ProgressDone  int64
+	ProgressTotal int64
+}
+
+// Snapshot returns the job's current status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:            j.id,
+		Spec:          j.spec,
+		State:         j.state,
+		CacheHit:      j.cacheHit,
+		Created:       j.created,
+		Started:       j.started,
+		Finished:      j.finished,
+		ProgressDone:  j.progressDone.Load(),
+		ProgressTotal: j.progressTotal.Load(),
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// newJobID returns a 16-hex-character random identifier.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: generating id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,196 @@
+// Package registry is a content-addressed store of parsed datasets: the
+// key of a dataset is the SHA-256 of its canonicalized CSV bytes, so the
+// same upload — regardless of line endings or a missing trailing newline
+// — always resolves to the same entry and is parsed exactly once. The
+// store is bounded by a byte budget with LRU eviction and keeps
+// hit/miss/eviction counters for /statsz.
+//
+// The registry is the "mine once, serve many" seam of the service: jobs
+// reference datasets by hash, repeated uploads of the same CSV are free,
+// and the result cache in package jobs keys on the same hash.
+package registry
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Hash is the content address of a dataset: the lower-case hex SHA-256
+// of its canonicalized CSV bytes.
+type Hash string
+
+// HashBytes computes the content address of raw CSV bytes.
+func HashBytes(csv []byte) Hash {
+	sum := sha256.Sum256(Canonicalize(csv))
+	return Hash(hex.EncodeToString(sum[:]))
+}
+
+// Canonicalize normalizes CSV bytes before hashing: CRLF and lone CR
+// line endings become LF, and a missing final newline is added. Parsing
+// is unaffected (encoding/csv already accepts all three), so two uploads
+// that parse identically hash identically.
+func Canonicalize(csv []byte) []byte {
+	out := make([]byte, 0, len(csv)+1)
+	for i := 0; i < len(csv); i++ {
+		c := csv[i]
+		if c == '\r' {
+			if i+1 < len(csv) && csv[i+1] == '\n' {
+				i++
+			}
+			c = '\n'
+		}
+		out = append(out, c)
+	}
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// Entry is one registered dataset.
+type Entry struct {
+	Hash  Hash
+	Data  *dataset.Dataset
+	Bytes int64 // estimated resident size, charged against the budget
+}
+
+// Stats is a point-in-time snapshot of the registry counters.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Registry is a byte-budgeted, content-addressed LRU store of parsed
+// datasets. All methods are safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	budget    int64 // <= 0 means unlimited
+	size      int64
+	ll        *list.List // front = most recently used; values are *Entry
+	entries   map[Hash]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a registry bounded by budgetBytes (<= 0 for unlimited).
+func New(budgetBytes int64) *Registry {
+	return &Registry{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: make(map[Hash]*list.Element),
+	}
+}
+
+// Register stores the dataset parsed from csv under its content address.
+// When the hash is already present the existing entry is returned with
+// existed == true and nothing is re-parsed — that dedup is the cache hit
+// the counters record. A parse failure stores nothing.
+func (r *Registry) Register(csv []byte, opts dataset.CSVOptions) (*Entry, bool, error) {
+	h := HashBytes(csv)
+	r.mu.Lock()
+	if el, ok := r.entries[h]; ok {
+		r.ll.MoveToFront(el)
+		r.hits++
+		e := el.Value.(*Entry)
+		r.mu.Unlock()
+		return e, true, nil
+	}
+	r.mu.Unlock()
+
+	// Parse outside the lock: CSV parsing dominates registration cost and
+	// must not serialize unrelated requests. A concurrent duplicate upload
+	// may parse twice; the second insert below discards its copy.
+	data, err := dataset.ReadCSV(bytes.NewReader(csv), opts)
+	if err != nil {
+		r.mu.Lock()
+		r.misses++
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("registry: parsing CSV: %w", err)
+	}
+	e := &Entry{Hash: h, Data: data, Bytes: datasetBytes(data)}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[h]; ok { // lost the race to an identical upload
+		r.ll.MoveToFront(el)
+		r.hits++
+		return el.Value.(*Entry), true, nil
+	}
+	r.misses++
+	r.entries[h] = r.ll.PushFront(e)
+	r.size += e.Bytes
+	r.evictLocked()
+	return e, false, nil
+}
+
+// Get looks up a dataset by hash, refreshing its LRU position.
+func (r *Registry) Get(h Hash) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[h]
+	if !ok {
+		r.misses++
+		return nil, false
+	}
+	r.hits++
+	r.ll.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// evictLocked drops least-recently-used entries until the budget is met.
+// The most recent entry is never evicted, so a single dataset larger than
+// the whole budget is still usable (and evicts everything else).
+func (r *Registry) evictLocked() {
+	if r.budget <= 0 {
+		return
+	}
+	for r.size > r.budget && r.ll.Len() > 1 {
+		el := r.ll.Back()
+		e := el.Value.(*Entry)
+		r.ll.Remove(el)
+		delete(r.entries, e.Hash)
+		r.size -= e.Bytes
+		r.evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Entries:   r.ll.Len(),
+		Bytes:     r.size,
+		Budget:    r.budget,
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+	}
+}
+
+// datasetBytes estimates the resident size of a parsed dataset: 4 bytes
+// per value code plus the schema strings with per-string overhead. An
+// estimate is enough — the budget bounds order of magnitude, not pages.
+func datasetBytes(d *dataset.Dataset) int64 {
+	const strOverhead = 16
+	var n int64
+	for i := range d.Attrs {
+		n += int64(len(d.Attrs[i].Name)) + strOverhead
+		for _, v := range d.Attrs[i].Values {
+			n += int64(len(v)) + strOverhead
+		}
+	}
+	n += int64(d.NumRows()) * int64(d.NumAttrs()) * 4
+	return n
+}

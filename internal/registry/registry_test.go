@@ -1,0 +1,144 @@
+package registry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+const csvA = "a,b\nx,1\ny,2\n"
+
+func TestHashCanonicalization(t *testing.T) {
+	want := HashBytes([]byte(csvA))
+	variants := []string{
+		"a,b\r\nx,1\r\ny,2\r\n", // CRLF
+		"a,b\nx,1\ny,2",         // no trailing newline
+		"a,b\rx,1\ry,2\r",       // bare CR
+	}
+	for _, v := range variants {
+		if got := HashBytes([]byte(v)); got != want {
+			t.Errorf("hash(%q) = %s, want %s", v, got, want)
+		}
+	}
+	if HashBytes([]byte("a,b\nx,2\n")) == want {
+		t.Error("different content hashed equal")
+	}
+}
+
+func TestRegisterDedup(t *testing.T) {
+	r := New(0)
+	e1, existed, err := r.Register([]byte(csvA), dataset.CSVOptions{})
+	if err != nil || existed {
+		t.Fatalf("first register: entry=%v existed=%v err=%v", e1, existed, err)
+	}
+	e2, existed, err := r.Register([]byte("a,b\r\nx,1\r\ny,2"), dataset.CSVOptions{})
+	if err != nil || !existed {
+		t.Fatalf("second register: existed=%v err=%v", existed, err)
+	}
+	if e1 != e2 {
+		t.Error("dedup returned a different entry")
+	}
+	s := r.Stats()
+	if s.Entries != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 entry, 1 hit, 1 miss", s)
+	}
+}
+
+func TestGetCountsAndLRU(t *testing.T) {
+	r := New(0)
+	e, _, err := r.Register([]byte(csvA), dataset.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get(e.Hash); !ok || got != e {
+		t.Fatalf("Get(%s) = %v, %v", e.Hash, got, ok)
+	}
+	if _, ok := r.Get(Hash("deadbeef")); ok {
+		t.Fatal("Get of unknown hash succeeded")
+	}
+	s := r.Stats()
+	if s.Hits != 1 || s.Misses != 2 { // register miss + unknown-hash miss
+		t.Errorf("hits=%d misses=%d, want 1 and 2", s.Hits, s.Misses)
+	}
+}
+
+// uniqueCSV builds a parseable CSV with a distinguishable payload.
+func uniqueCSV(i int) []byte {
+	return []byte(fmt.Sprintf("a,b\nv%d,%s\n", i, strings.Repeat("x", 64)))
+}
+
+func TestEviction(t *testing.T) {
+	// Each entry is ~a few hundred bytes; a 1 KiB budget holds only a few.
+	r := New(1024)
+	var hashes []Hash
+	for i := 0; i < 10; i++ {
+		e, _, err := r.Register(uniqueCSV(i), dataset.CSVOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, e.Hash)
+	}
+	s := r.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions under a 1 KiB budget: %+v", s)
+	}
+	if s.Bytes > 1024 && s.Entries > 1 {
+		t.Errorf("size %d exceeds budget with %d entries", s.Bytes, s.Entries)
+	}
+	// The oldest entry must be gone, the newest present.
+	if _, ok := r.Get(hashes[0]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := r.Get(hashes[len(hashes)-1]); !ok {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+func TestEvictionKeepsNewestEvenOverBudget(t *testing.T) {
+	r := New(1) // absurdly small: every entry alone exceeds the budget
+	e, _, err := r.Register([]byte(csvA), dataset.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(e.Hash); !ok {
+		t.Fatal("sole over-budget entry was evicted")
+	}
+	if _, _, err := r.Register(uniqueCSV(1), dataset.CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Entries != 1 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want exactly the newest entry retained", s)
+	}
+}
+
+func TestRegisterParseError(t *testing.T) {
+	r := New(0)
+	if _, _, err := r.Register([]byte("a,b\nonly-one-field\n"), dataset.CSVOptions{}); err == nil {
+		t.Fatal("malformed CSV registered without error")
+	}
+	if s := r.Stats(); s.Entries != 0 {
+		t.Errorf("failed parse left %d entries", s.Entries)
+	}
+}
+
+func TestConcurrentRegister(t *testing.T) {
+	r := New(0)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, _, err := r.Register([]byte(csvA), dataset.CSVOptions{})
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := r.Stats(); s.Entries != 1 {
+		t.Errorf("concurrent identical registers left %d entries", s.Entries)
+	}
+}

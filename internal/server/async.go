@@ -1,0 +1,250 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+// csvOptions is the single parsing configuration for every upload path,
+// so the content hash always addresses identically-parsed data.
+func csvOptions() dataset.CSVOptions { return dataset.CSVOptions{TrimSpace: true} }
+
+// Wire shapes for the dataset and job endpoints.
+
+type datasetJSON struct {
+	Hash       string `json:"hash"`
+	Rows       int    `json:"rows"`
+	Attributes int    `json:"attributes"`
+	Bytes      int64  `json:"bytes"`
+	// Cached is true when the upload was already registered and no
+	// re-parse happened.
+	Cached bool `json:"cached"`
+}
+
+type progressJSON struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+}
+
+type jobJSON struct {
+	ID         string        `json:"id"`
+	State      string        `json:"state"`
+	Dataset    string        `json:"dataset"`
+	Error      string        `json:"error,omitempty"`
+	CacheHit   bool          `json:"cache_hit"`
+	CreatedAt  string        `json:"created_at"`
+	StartedAt  string        `json:"started_at,omitempty"`
+	FinishedAt string        `json:"finished_at,omitempty"`
+	Progress   *progressJSON `json:"progress,omitempty"`
+	ResultURL  string        `json:"result_url,omitempty"`
+}
+
+func jobToJSON(st jobs.Status) jobJSON {
+	j := jobJSON{
+		ID:        st.ID,
+		State:     st.State.String(),
+		Dataset:   string(st.Spec.Dataset),
+		Error:     st.Err,
+		CacheHit:  st.CacheHit,
+		CreatedAt: st.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !st.Started.IsZero() {
+		j.StartedAt = st.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.Finished.IsZero() {
+		j.FinishedAt = st.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if st.ProgressTotal > 0 {
+		j.Progress = &progressJSON{Done: st.ProgressDone, Total: st.ProgressTotal}
+	}
+	if st.State == jobs.StateDone {
+		j.ResultURL = "/jobs/" + st.ID + "/result"
+	}
+	return j
+}
+
+// handleDatasetRegister implements POST /datasets: content-address the
+// uploaded CSV and parse it once.
+func (s *Server) handleDatasetRegister(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	entry, existed, err := s.reg.Register(body, csvOptions())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetJSON{
+		Hash:       string(entry.Hash),
+		Rows:       entry.Data.NumRows(),
+		Attributes: entry.Data.NumAttrs(),
+		Bytes:      entry.Bytes,
+		Cached:     existed,
+	})
+}
+
+// handleDatasetGet implements GET /datasets/{hash}.
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	h := registry.Hash(r.PathValue("hash"))
+	entry, ok := s.reg.Get(h)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset "+string(h)+" not registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetJSON{
+		Hash:       string(entry.Hash),
+		Rows:       entry.Data.NumRows(),
+		Attributes: entry.Data.NumAttrs(),
+		Bytes:      entry.Bytes,
+		Cached:     true,
+	})
+}
+
+// handleJobSubmit implements POST /jobs: submit by registered dataset
+// hash (?dataset=...) or by inline CSV body. A full queue answers 429 —
+// the explicit backpressure contract — rather than blocking the client.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var hash registry.Hash
+	if h := r.URL.Query().Get("dataset"); h != "" {
+		if _, ok := s.reg.Get(registry.Hash(h)); !ok {
+			writeError(w, http.StatusNotFound, "dataset "+h+" not registered")
+			return
+		}
+		hash = registry.Hash(h)
+	} else {
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		entry, _, err := s.reg.Register(body, csvOptions())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		hash = entry.Hash
+	}
+	job, err := s.engine.Submit(req.spec(hash))
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobToJSON(job.Snapshot()))
+}
+
+// handleJobStatus implements GET /jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobToJSON(job.Snapshot()))
+}
+
+// handleJobResult implements GET /jobs/{id}/result, rendering the mined
+// result with the formatters the synchronous path uses. The format query
+// parameter may override the one given at submission.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	st := job.Snapshot()
+	if st.State != jobs.StateDone {
+		msg := "job is " + st.State.String()
+		if st.Err != "" {
+			msg += ": " + st.Err
+		}
+		writeError(w, http.StatusConflict, msg)
+		return
+	}
+	res, err := job.Result()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req, err := renderRequest(st.Spec, r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.render(w, res, req)
+}
+
+// renderRequest rebuilds rendering parameters from a job spec. Metric
+// names were validated at submission, so resolution cannot fail for
+// stored specs; the error path covers format overrides only.
+func renderRequest(spec jobs.Spec, format string) (analysisRequest, error) {
+	req := analysisRequest{
+		truthCol: spec.TruthCol,
+		predCol:  spec.PredCol,
+		support:  spec.Support,
+		topK:     spec.TopK,
+		eps:      spec.Epsilon,
+		alpha:    spec.Alpha,
+		format:   orDefault(format, "json"),
+	}
+	switch req.format {
+	case "json", "html", "csv":
+	default:
+		return req, errors.New("bad format " + req.format + " (want json, html or csv)")
+	}
+	for _, n := range spec.Metrics {
+		m, err := core.MetricByName(n)
+		if err != nil {
+			return req, err
+		}
+		req.metrics = append(req.metrics, m)
+	}
+	return req, nil
+}
+
+// handleJobCancel implements DELETE /jobs/{id}.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.engine.Cancel(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, jobToJSON(st))
+}
+
+// statszJSON is the /statsz payload: job-engine and dataset-registry
+// statistics side by side.
+type statszJSON struct {
+	Jobs     jobs.Stats     `json:"jobs"`
+	Datasets registry.Stats `json:"datasets"`
+}
+
+// handleStatsz implements GET /statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statszJSON{
+		Jobs:     s.engine.Stats(),
+		Datasets: s.reg.Stats(),
+	})
+}

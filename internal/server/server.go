@@ -1,26 +1,40 @@
-// Package server exposes DivExplorer over HTTP: clients POST a CSV with
-// ground-truth and prediction columns and receive the divergence
-// analysis as JSON, CSV or a self-contained HTML report. The server is
-// stateless — every request carries its own data — and is built entirely
-// on net/http.
+// Package server exposes DivExplorer over HTTP. The synchronous path —
+// POST a CSV to /analyze — still works exactly as before, but analysis
+// now runs through a content-addressed dataset registry and a shared
+// result cache, so repeated uploads of the same data are near-free. For
+// long-running explorations an asynchronous job API mines off the
+// request goroutine on a bounded worker pool (internal/jobs).
 //
 // Endpoints:
 //
-//	GET  /            an HTML form for interactive use
-//	GET  /healthz     liveness probe
-//	POST /analyze     body: the CSV; query parameters:
-//	    truth    ground-truth column name (default "truth")
-//	    pred     prediction column name (default "pred")
-//	    support  minimum support threshold (default 0.05)
-//	    metric   comma-separated metric names (default "FPR,FNR")
-//	    topk     patterns per metric (default 10)
-//	    eps      redundancy-pruning threshold (optional)
-//	    alpha    FDR level for the significance section (optional)
-//	    format   "json" (default), "html" or "csv"
+//	GET    /               an HTML form for interactive use
+//	GET    /healthz        liveness probe
+//	GET    /statsz         queue, worker and cache statistics (JSON)
+//	POST   /analyze        synchronous analysis; body: the CSV
+//	POST   /datasets       register a dataset, returns its content hash
+//	GET    /datasets/{hash} dataset metadata
+//	POST   /jobs           submit an analysis job (inline CSV body, or
+//	                       ?dataset=<hash> for a registered dataset)
+//	GET    /jobs/{id}        job status and progress
+//	GET    /jobs/{id}/result completed job result (json, csv or html)
+//	DELETE /jobs/{id}        cancel a queued or running job
+//
+// Query parameters shared by /analyze and /jobs:
+//
+//	truth    ground-truth column name (default "truth")
+//	pred     prediction column name (default "pred")
+//	support  minimum support threshold (default 0.05)
+//	metric   comma-separated metric names (default "FPR,FNR")
+//	topk     patterns per metric (default 10)
+//	eps      redundancy-pruning threshold (optional)
+//	alpha    FDR level for the significance section (optional)
+//	format   "json" (default), "html" or "csv"
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -29,23 +43,97 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/fpm"
 	"repro/internal/htmlreport"
+	"repro/internal/jobs"
+	"repro/internal/registry"
 )
 
-// MaxBodyBytes bounds uploaded CSV size (32 MiB).
-const MaxBodyBytes = 32 << 20
+// DefaultMaxBodyBytes bounds uploaded CSV size unless overridden via
+// Options.MaxBodyBytes (32 MiB).
+const DefaultMaxBodyBytes = 32 << 20
+
+// DefaultDatasetCacheBytes is the registry budget when Options supplies
+// no registry (256 MiB).
+const DefaultDatasetCacheBytes = 256 << 20
+
+// Options configures a Server. Zero values select defaults.
+type Options struct {
+	// MaxBodyBytes bounds uploaded request bodies; DefaultMaxBodyBytes
+	// when <= 0. Oversized uploads get HTTP 413 with a JSON error body.
+	MaxBodyBytes int64
+	// Registry stores parsed datasets by content hash; a fresh registry
+	// with DefaultDatasetCacheBytes is created when nil.
+	Registry *registry.Registry
+	// Engine runs analysis jobs; a default engine over Registry is
+	// created when nil.
+	Engine *jobs.Engine
+}
+
+// Server ties the dataset registry and the job engine to HTTP handlers.
+type Server struct {
+	maxBody int64
+	reg     *registry.Registry
+	engine  *jobs.Engine
+}
+
+// New builds a server, creating a default registry and engine for any
+// not supplied in opts.
+func New(opts Options) (*Server, error) {
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = registry.New(DefaultDatasetCacheBytes)
+	}
+	engine := opts.Engine
+	if engine == nil {
+		var err error
+		engine, err = jobs.New(jobs.Config{Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{maxBody: maxBody, reg: reg, engine: engine}, nil
+}
+
+// Engine returns the server's job engine (for shutdown wiring).
+func (s *Server) Engine() *jobs.Engine { return s.engine }
+
+// Close drains the job engine.
+func (s *Server) Close(ctx context.Context) error { return s.engine.Shutdown(ctx) }
 
 // Handler returns the http.Handler serving the API.
-func Handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok") // nothing to do if the client went away
 	})
 	mux.HandleFunc("GET /", handleIndex)
-	mux.HandleFunc("POST /analyze", handleAnalyze)
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /datasets", s.handleDatasetRegister)
+	mux.HandleFunc("GET /datasets/{hash}", s.handleDatasetGet)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
+}
+
+// Handler returns a handler over a default server — the stateless entry
+// point existing callers use. The default configuration cannot fail; the
+// error branch is defensive.
+func Handler() http.Handler {
+	s, err := New(Options{})
+	if err != nil {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		})
+	}
+	return s.Handler()
 }
 
 func handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -61,10 +149,44 @@ const indexHTML = `<!DOCTYPE html>
 <html><head><meta charset="utf-8"><title>DivExplorer</title></head>
 <body style="font-family: system-ui; max-width: 40rem; margin: 3rem auto">
 <h1>DivExplorer</h1>
-<p>POST a CSV to <code>/analyze?truth=&lt;col&gt;&amp;pred=&lt;col&gt;&amp;support=0.05&amp;format=html</code>.</p>
+<p>POST a CSV to <code>/analyze?truth=&lt;col&gt;&amp;pred=&lt;col&gt;&amp;support=0.05&amp;format=html</code>,
+or submit an asynchronous job via <code>POST /jobs</code> and poll <code>GET /jobs/{id}</code>.</p>
 <pre>curl --data-binary @data.csv 'http://HOST/analyze?truth=label&amp;pred=predicted&amp;format=html'</pre>
 </body></html>
 `
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg}) // nothing to do if the client went away
+}
+
+// writeJSON emits v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // nothing to do if the client went away
+}
+
+// readBody reads the request body under the configured size limit,
+// answering 413 (with a JSON error body) when it is exceeded.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return nil, false
+	}
+	return body, true
+}
 
 // analysisRequest carries the parsed query parameters.
 type analysisRequest struct {
@@ -130,6 +252,24 @@ func parseRequest(r *http.Request) (analysisRequest, error) {
 	return req, nil
 }
 
+// spec converts the parsed request into a job spec for dataset h.
+func (req analysisRequest) spec(h registry.Hash) jobs.Spec {
+	names := make([]string, len(req.metrics))
+	for i, m := range req.metrics {
+		names[i] = m.Name
+	}
+	return jobs.Spec{
+		Dataset:  h,
+		TruthCol: req.truthCol,
+		PredCol:  req.predCol,
+		Support:  req.support,
+		Metrics:  names,
+		Epsilon:  req.eps,
+		TopK:     req.topK,
+		Alpha:    req.alpha,
+	}
+}
+
 func orDefault(s, def string) string {
 	if s == "" {
 		return def
@@ -179,39 +319,48 @@ type responseJSON struct {
 	Metrics  []metricJSON `json:"metrics"`
 }
 
-func handleAnalyze(w http.ResponseWriter, r *http.Request) {
+// handleAnalyze is the synchronous path. The upload is registered in the
+// content-addressed registry and the exploration runs through the shared
+// result cache, so a repeated upload skips both parsing and mining. The
+// request context cancels the mine when the client disconnects.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req, err := parseRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-	data, err := dataset.ReadCSV(body, dataset.CSVOptions{TrimSpace: true})
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	entry, _, err := s.reg.Register(body, csvOptions())
 	if err != nil {
-		http.Error(w, "parsing CSV: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	truth, pred, data, err := extractLabels(data, req.truthCol, req.predCol)
+	res, err := s.engine.Analyze(r.Context(), req.spec(entry.Hash))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeAnalysisError(w, r, err)
 		return
 	}
-	classes, err := core.ConfusionClasses(truth, pred)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	db, err := fpm.NewTxDB(data, classes, core.NumConfusionClasses)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	res, err := core.Explore(db, req.support, core.Options{})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
+	s.render(w, res, req)
+}
 
+// writeAnalysisError maps analysis failures to HTTP statuses.
+func (s *Server) writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrBadInput):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case r.Context().Err() != nil:
+		// Client went away mid-mine; the status is for the log only.
+		writeError(w, 499, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// render writes the result in the requested format.
+func (s *Server) render(w http.ResponseWriter, res *core.Result, req analysisRequest) {
 	switch req.format {
 	case "html":
 		out, err := htmlreport.Render(res, htmlreport.Config{
@@ -221,7 +370,7 @@ func handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			FDRLevel: req.alpha,
 		})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -229,47 +378,11 @@ func handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	case "csv":
 		w.Header().Set("Content-Type", "text/csv")
 		if err := res.WriteCSV(w, req.metrics[0], core.ByDivergence); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, err.Error())
 		}
 	default:
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(buildJSON(res, req)); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		writeJSON(w, http.StatusOK, buildJSON(res, req))
 	}
-}
-
-// extractLabels pulls and removes the Boolean label columns.
-func extractLabels(d *dataset.Dataset, truthCol, predCol string) (truth, pred []bool, out *dataset.Dataset, err error) {
-	parse := func(col string) ([]bool, error) {
-		idx := d.AttrIndex(col)
-		if idx < 0 {
-			return nil, fmt.Errorf("unknown column %q", col)
-		}
-		vals := make([]bool, d.NumRows())
-		for r := range d.Rows {
-			switch strings.ToLower(d.Value(r, idx)) {
-			case "1", "true", "t", "yes", "y":
-				vals[r] = true
-			case "0", "false", "f", "no", "n":
-				vals[r] = false
-			default:
-				return nil, fmt.Errorf("row %d: column %q value %q is not Boolean",
-					r, col, d.Value(r, idx))
-			}
-		}
-		return vals, nil
-	}
-	if truth, err = parse(truthCol); err != nil {
-		return nil, nil, nil, err
-	}
-	if pred, err = parse(predCol); err != nil {
-		return nil, nil, nil, err
-	}
-	out, err = d.DropAttrs(truthCol, predCol)
-	return truth, pred, out, err
 }
 
 func buildJSON(res *core.Result, req analysisRequest) responseJSON {

@@ -6,10 +6,19 @@
 #   2. go vet ./...                the stock vet analyzers
 #   3. go run ./cmd/divlint ./...  the project-invariant suite
 #                                  (floatcmp, errcheck, lockcopy,
-#                                  maporder, libprint; see DESIGN.md)
+#                                  maporder, libprint, goleak; see
+#                                  DESIGN.md)
 #   4. go test -race ./...         all tests under the race detector;
 #                                  the Parallel-vs-FPGrowth stress test
 #                                  is this tier's primary target
+#   5. go test -race -count=2 …    the concurrent service subsystems
+#                                  (jobs, registry, server) twice more:
+#                                  submit/cancel/shutdown interleavings
+#                                  are timing-sensitive, so extra runs
+#                                  buy extra schedules
+#   6. benchmark smoke             every benchmark once, so a bench that
+#                                  panics or no longer compiles fails
+#                                  the gate, not the next perf session
 #
 # Exits non-zero on the first failing step. CI runs exactly this script.
 set -euo pipefail
@@ -26,5 +35,11 @@ go run ./cmd/divlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> go test -race -count=2 (service subsystems)"
+go test -race -count=2 ./internal/jobs ./internal/registry ./internal/server
+
+echo "==> benchmark smoke (one iteration each)"
+go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "verify: all gates passed"
