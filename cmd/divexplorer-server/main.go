@@ -3,7 +3,12 @@
 // (POST /datasets, POST /jobs, GET /jobs/{id}) to mine asynchronously on
 // a bounded worker pool. See internal/server for endpoint documentation.
 //
+// With -store-dir the job engine is durable: every lifecycle transition
+// is written ahead to a JSON-lines log in that directory, replayed on
+// the next boot, and streamed as partial-result snapshots while mining.
+//
 //	divexplorer-server -addr :8080 -workers 4 -job-timeout 5m
+//	divexplorer-server -store-dir /var/lib/divexplorer -snapshot-every 2s
 //	curl --data-binary @data.csv 'http://localhost:8080/analyze?truth=label&pred=predicted&format=html'
 package main
 
@@ -35,6 +40,10 @@ func main() {
 			"max request body size in bytes; larger uploads get HTTP 413")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long shutdown waits for queued jobs before canceling them")
+		storeDir = flag.String("store-dir", "",
+			"directory for the durable job store; empty disables persistence")
+		snapshotEvery = flag.Duration("snapshot-every", 2*time.Second,
+			"min interval between persisted partial-result snapshots (0 = every update)")
 	)
 	flag.Parse()
 
@@ -45,9 +54,20 @@ func main() {
 		QueueDepth:         *queueDepth,
 		ResultCacheEntries: *resultCache,
 		DefaultTimeout:     *jobTimeout,
+		SnapshotEvery:      *snapshotEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *storeDir != "" {
+		// Replay the write-ahead log before serving traffic: completed
+		// results come back as durable summaries, interrupted jobs are
+		// re-marked failed, and the store stays attached for write-through.
+		n, err := engine.Recover(*storeDir)
+		if err != nil {
+			log.Fatalf("recovering job store %s: %v", *storeDir, err)
+		}
+		log.Printf("job store %s attached (%d jobs recovered)", *storeDir, n)
 	}
 	api, err := server.New(server.Options{
 		MaxBodyBytes: *maxBody,

@@ -38,17 +38,39 @@ func NewCutPoints(cuts []float64) (Binner, error) {
 	if len(cuts) == 0 {
 		return nil, fmt.Errorf("discretize: no cut points")
 	}
+	for i, c := range cuts {
+		// NaN compares false against everything, so it would slip past
+		// the ordering check below and poison the bin labels.
+		if math.IsNaN(c) {
+			return nil, fmt.Errorf("discretize: cut point %d is NaN", i)
+		}
+	}
 	for i := 1; i < len(cuts); i++ {
 		if cuts[i] <= cuts[i-1] {
 			return nil, fmt.Errorf("discretize: cut points not strictly increasing at %d", i)
 		}
 	}
-	labels := make([]string, len(cuts)+1)
-	labels[0] = fmt.Sprintf("<=%s", formatCut(cuts[0]))
-	for i := 1; i < len(cuts); i++ {
-		labels[i] = fmt.Sprintf("(%s-%s]", formatCut(cuts[i-1]), formatCut(cuts[i]))
+	strs := make([]string, len(cuts))
+	for i, c := range cuts {
+		strs[i] = formatCut(c)
 	}
-	labels[len(cuts)] = fmt.Sprintf(">%s", formatCut(cuts[len(cuts)-1]))
+	// The compact 6-digit format can render two close cut points
+	// identically, which would merge distinct bins under one label. Fall
+	// back to the shortest round-trip format, which is injective.
+	for i := 1; i < len(strs); i++ {
+		if strs[i] == strs[i-1] {
+			for j, c := range cuts {
+				strs[j] = strconv.FormatFloat(c, 'g', -1, 64)
+			}
+			break
+		}
+	}
+	labels := make([]string, len(cuts)+1)
+	labels[0] = fmt.Sprintf("<=%s", strs[0])
+	for i := 1; i < len(cuts); i++ {
+		labels[i] = fmt.Sprintf("(%s-%s]", strs[i-1], strs[i])
+	}
+	labels[len(cuts)] = fmt.Sprintf(">%s", strs[len(cuts)-1])
 	return &cutBinner{cuts: append([]float64(nil), cuts...), labels: labels}, nil
 }
 
@@ -83,6 +105,9 @@ func NewEqualWidth(xs []float64, n int) (Binner, error) {
 	// lint:ignore floatcmp exact min==max detects a constant column; no tolerance wanted
 	if lo == hi {
 		return nil, fmt.Errorf("discretize: constant column cannot be equal-width binned")
+	}
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("discretize: infinite range [%v, %v] cannot be equal-width binned", lo, hi)
 	}
 	cuts := make([]float64, n-1)
 	width := (hi - lo) / float64(n)

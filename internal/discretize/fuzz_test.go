@@ -1,0 +1,91 @@
+package discretize
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes reinterprets fuzz bytes as float64s, so NaN, the
+// infinities, subnormals and negative zero all occur naturally.
+func floatsFromBytes(data []byte) []float64 {
+	xs := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		xs = append(xs, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return xs
+}
+
+// FuzzDiscretize hammers every binning strategy with arbitrary float
+// columns and bin counts. The invariants: constructors never panic
+// (returning an error for degenerate input is fine), an accepted binner
+// assigns every input value a label from Labels(), and labels are
+// distinct — a duplicate label would silently merge two bins and change
+// divergence results downstream.
+func FuzzDiscretize(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(le(1, 2, 3, 4, 5), uint8(3))
+	f.Add(le(0, 0, 0), uint8(2))
+	f.Add(le(math.NaN(), 1, 2), uint8(2))
+	f.Add(le(math.Inf(1), math.Inf(-1), 0), uint8(4))
+	f.Add(le(-0.0, 0.0, math.SmallestNonzeroFloat64), uint8(2))
+	f.Add(le(1e300, -1e300, 1e-300), uint8(5))
+	f.Add([]byte{}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, nBins uint8) {
+		xs := floatsFromBytes(data)
+		n := int(nBins%16) + 2 // [2,17]: the constructors' accepted range
+
+		check := func(name string, b Binner, err error) {
+			if err != nil {
+				return // degenerate input rejected, not panicked
+			}
+			labels := b.Labels()
+			if len(labels) < 2 {
+				t.Fatalf("%s: accepted binner has %d labels", name, len(labels))
+			}
+			known := make(map[string]bool, len(labels))
+			for _, l := range labels {
+				if known[l] {
+					t.Fatalf("%s: duplicate bin label %q", name, l)
+				}
+				known[l] = true
+			}
+			for _, x := range xs {
+				if math.IsNaN(x) {
+					continue // NaN columns are rejected by the constructors
+				}
+				if l := b.Bin(x); !known[l] {
+					t.Fatalf("%s: Bin(%v) = %q, not in Labels() %v", name, x, l, labels)
+				}
+			}
+		}
+
+		ew, err := NewEqualWidth(xs, n)
+		check("equal-width", ew, err)
+		ef, err := NewEqualFrequency(xs, n)
+		check("equal-frequency", ef, err)
+
+		// Explicit cut points derived from the input floats themselves.
+		var cuts []float64
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			if len(cuts) == 0 || x > cuts[len(cuts)-1] {
+				cuts = append(cuts, x)
+			}
+			if len(cuts) == n {
+				break
+			}
+		}
+		cp, err := NewCutPoints(cuts)
+		check("cut-points", cp, err)
+	})
+}

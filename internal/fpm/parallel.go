@@ -24,6 +24,14 @@ type Parallel struct {
 	// cheap and non-blocking; the job engine feeds it into per-job
 	// progress counters.
 	Progress func(done, total int)
+	// Emit, when non-nil, is called after each per-item subproblem
+	// completes with the patterns that subproblem mined, before Progress.
+	// The batch is shared with the final result: receivers must treat it
+	// as read-only but may retain it. Like Progress, Emit may be called
+	// concurrently from several workers; it is the seam the job engine
+	// uses to accumulate partial-result snapshots while a long mine is
+	// still underway.
+	Emit func(batch []FrequentPattern, done, total int)
 }
 
 // Name implements Miner.
@@ -78,9 +86,20 @@ func (p Parallel) MineContext(ctx context.Context, db *TxDB, minCount int64) ([]
 				errs[idx] = err
 				return
 			}
+			// Canonicalize within the worker so emitted batches are never
+			// mutated afterwards (Emit receivers may retain them).
+			for i := range rs {
+				sort.Slice(rs[i].Items, func(a, b int) bool { return rs[i].Items[a] < rs[i].Items[b] })
+			}
 			results[idx] = rs
-			if p.Progress != nil {
-				p.Progress(int(done.Add(1)), total)
+			if p.Emit != nil || p.Progress != nil {
+				n := int(done.Add(1))
+				if p.Emit != nil {
+					p.Emit(rs, n, total)
+				}
+				if p.Progress != nil {
+					p.Progress(n, total)
+				}
 			}
 		}(idx, it)
 	}
@@ -97,9 +116,6 @@ func (p Parallel) MineContext(ctx context.Context, db *TxDB, minCount int64) ([]
 	var out []FrequentPattern
 	for _, rs := range results {
 		out = append(out, rs...)
-	}
-	for i := range out {
-		sort.Slice(out[i].Items, func(a, b int) bool { return out[i].Items[a] < out[i].Items[b] })
 	}
 	sort.Slice(out, func(i, j int) bool { return lessItemsets(out[i].Items, out[j].Items) })
 	return out, nil

@@ -10,18 +10,21 @@ import (
 	"repro/internal/fpm"
 )
 
-// AnalyzeFunc runs one analysis over an already-parsed dataset. progress
-// may be nil; when non-nil it receives (completed, total) mining
-// subproblem counts and may be called concurrently. The default is
-// RunAnalysis; tests and alternative backends substitute their own.
-type AnalyzeFunc func(ctx context.Context, data *dataset.Dataset, spec Spec, progress func(done, total int)) (*core.Result, error)
+// AnalyzeFunc runs one analysis over an already-parsed dataset. tr may
+// be nil (the synchronous path); when non-nil the analysis reports
+// subproblem progress counts and partial-result snapshots through it,
+// possibly from several goroutines at once. The default is RunAnalysis;
+// tests and alternative backends substitute their own.
+type AnalyzeFunc func(ctx context.Context, data *dataset.Dataset, spec Spec, tr *Tracker) (*core.Result, error)
 
 // RunAnalysis is the built-in DivExplorer pipeline: extract the Boolean
 // truth/prediction columns, derive confusion classes, and mine the full
-// lattice with the parallel FP-growth miner under ctx. Input-shaped
-// failures wrap ErrBadInput so the HTTP layer can distinguish a bad
-// request from an internal fault.
-func RunAnalysis(ctx context.Context, data *dataset.Dataset, spec Spec, progress func(done, total int)) (*core.Result, error) {
+// lattice with the parallel FP-growth miner under ctx. While mining,
+// each completed subproblem's patterns are folded into a running top-K
+// leaderboard and published through the tracker as a partial-result
+// snapshot. Input-shaped failures wrap ErrBadInput so the HTTP layer can
+// distinguish a bad request from an internal fault.
+func RunAnalysis(ctx context.Context, data *dataset.Dataset, spec Spec, tr *Tracker) (*core.Result, error) {
 	truth, pred, rest, err := extractLabels(data, spec.TruthCol, spec.PredCol)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
@@ -37,7 +40,13 @@ func RunAnalysis(ctx context.Context, data *dataset.Dataset, spec Spec, progress
 	if spec.Support < 0 || spec.Support > 1 {
 		return nil, fmt.Errorf("%w: support %v out of [0,1]", ErrBadInput, spec.Support)
 	}
-	miner := fpm.Parallel{Progress: progress}
+	miner := fpm.Parallel{Progress: tr.Progress}
+	if tr != nil {
+		acc := newPartialAccum(db, spec)
+		miner.Emit = func(batch []fpm.FrequentPattern, done, total int) {
+			tr.Partial(acc.add(batch, done, total))
+		}
+	}
 	return core.ExploreContext(ctx, db, spec.Support, core.Options{Miner: miner})
 }
 

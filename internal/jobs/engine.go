@@ -32,6 +32,16 @@ type Config struct {
 	// controllable implementations, and it is the seam for alternative
 	// mining backends.
 	Analyze AnalyzeFunc
+	// Store, when non-nil, receives a write-through record of every job
+	// lifecycle transition, making the engine durable across restarts.
+	// Engine.Recover opens and attaches one from a directory; supplying
+	// it here is mainly for tests.
+	Store *Store
+	// SnapshotEvery rate-limits how often partial-result snapshots are
+	// persisted to the store; <= 0 persists every update. The in-memory
+	// snapshot served by the partial/events endpoints always updates on
+	// every emission regardless.
+	SnapshotEvery time.Duration
 }
 
 // Stats is a point-in-time snapshot of the engine counters for /statsz.
@@ -45,6 +55,12 @@ type Stats struct {
 	Failed      int64      `json:"failed"`
 	Canceled    int64      `json:"canceled"`
 	Rejected    int64      `json:"rejected"`
+	// Durable reports whether a job store is attached; Recovered counts
+	// jobs reconstructed from it at startup and StoreErrors counts
+	// best-effort write-through appends that failed.
+	Durable     bool       `json:"durable"`
+	Recovered   int64      `json:"recovered"`
+	StoreErrors int64      `json:"store_errors"`
 	ResultCache CacheStats `json:"result_cache"`
 }
 
@@ -70,12 +86,16 @@ type Engine struct {
 	workers int
 	wg      sync.WaitGroup
 
+	store atomic.Pointer[Store]
+
 	busy      atomic.Int64
 	submitted atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
 	rejected  atomic.Int64
+	recovered atomic.Int64
+	storeErrs atomic.Int64
 }
 
 // New starts an engine with cfg.Workers workers. Call Shutdown to drain.
@@ -111,6 +131,9 @@ func New(cfg Config) (*Engine, error) {
 		jobs:       make(map[string]*Job),
 		workers:    workers,
 	}
+	if cfg.Store != nil {
+		e.store.Store(cfg.Store)
+	}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -128,7 +151,9 @@ func (e *Engine) worker() {
 
 // Submit enqueues a job for spec. It never blocks: a full queue returns
 // ErrQueueFull (the backpressure contract), a draining engine returns
-// ErrShuttingDown.
+// ErrShuttingDown. With a store attached the submission is written ahead
+// — a submit the store cannot record is refused, so every acknowledged
+// job survives a crash.
 func (e *Engine) Submit(spec Spec) (*Job, error) {
 	id, err := newJobID()
 	if err != nil {
@@ -142,6 +167,14 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		e.rejected.Add(1)
 		return nil, ErrShuttingDown
 	}
+	if st := e.store.Load(); st != nil {
+		rec := Record{Type: RecSubmitted, Job: id, Time: job.created, Spec: &spec}
+		if err := st.Append(rec); err != nil {
+			e.storeErrs.Add(1)
+			e.rejected.Add(1)
+			return nil, fmt.Errorf("jobs: write-ahead submit: %w", err)
+		}
+	}
 	e.jobsMu.Lock()
 	e.jobs[id] = job
 	e.jobsMu.Unlock()
@@ -154,7 +187,23 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 		delete(e.jobs, id)
 		e.jobsMu.Unlock()
 		e.rejected.Add(1)
+		// Close out the already-written submitted record so recovery
+		// does not resurrect a job the client was refused.
+		e.logRecord(Record{Type: RecRejected, Job: id, Error: ErrQueueFull.Error()})
 		return nil, ErrQueueFull
+	}
+}
+
+// logRecord is the best-effort write-through: failures are counted, not
+// propagated — a sick disk must not take down in-flight analyses whose
+// results are still servable from memory.
+func (e *Engine) logRecord(rec Record) {
+	st := e.store.Load()
+	if st == nil {
+		return
+	}
+	if err := st.Append(rec); err != nil {
+		e.storeErrs.Add(1)
 	}
 }
 
@@ -177,17 +226,24 @@ func (e *Engine) Cancel(id string) (Status, error) {
 	}
 	job.canceledByUser.Store(true)
 	job.mu.Lock()
+	canceledWhileQueued := false
 	switch job.state {
 	case StateQueued:
 		job.state = StateCanceled
 		job.finished = time.Now()
 		e.canceled.Add(1)
+		canceledWhileQueued = true
 	case StateRunning:
 		if job.cancel != nil {
 			job.cancel()
 		}
 	}
 	job.mu.Unlock()
+	if canceledWhileQueued {
+		// A canceled-while-queued job never reaches run(), so its
+		// terminal record is written here.
+		e.logRecord(Record{Type: RecCanceled, Job: job.id, Error: "canceled while queued"})
+	}
 	return job.Snapshot(), nil
 }
 
@@ -218,32 +274,51 @@ func (e *Engine) run(job *Job) {
 	e.busy.Add(1)
 	defer e.busy.Add(-1)
 
-	res, cacheHit, err := e.analyzeCached(ctx, job.spec, func(done, total int) {
-		job.progressDone.Store(int64(done))
-		job.progressTotal.Store(int64(total))
-	})
+	e.logRecord(Record{Type: RecRunning, Job: job.id, Time: job.started})
+	tr := &Tracker{
+		job:   job,
+		every: e.cfg.SnapshotEvery,
+		persist: func(snap *Snapshot) {
+			e.logRecord(Record{Type: RecSnapshot, Job: job.id, Snapshot: snap})
+		},
+	}
 
+	res, cacheHit, err := e.analyzeCached(ctx, job.spec, tr)
+
+	// Summarize outside the job lock: it ranks the whole lattice, and
+	// status polls must not stall behind it.
+	var sum *ResultSummary
+	if err == nil {
+		sum = summarize(res, job.spec)
+	}
+
+	var rec Record
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	job.finished = time.Now()
 	job.cancel = nil
 	switch {
 	case err == nil:
 		job.state = StateDone
 		job.result = res
+		job.summary = sum
 		job.cacheHit = cacheHit
 		e.completed.Add(1)
+		rec = Record{Type: RecDone, Job: job.id, Result: sum, CacheHit: cacheHit}
 	case errors.Is(err, context.Canceled) || (job.canceledByUser.Load() && ctx.Err() != nil):
 		job.state = StateCanceled
 		job.err = err
 		e.canceled.Add(1)
+		rec = Record{Type: RecCanceled, Job: job.id, Error: err.Error()}
 	default:
 		// Deadline expiry and analysis errors are failures, not
 		// user-requested cancellations.
 		job.state = StateFailed
 		job.err = err
 		e.failed.Add(1)
+		rec = Record{Type: RecFailed, Job: job.id, Error: err.Error()}
 	}
+	job.mu.Unlock()
+	e.logRecord(rec)
 }
 
 // Analyze runs a spec synchronously through the same result cache the
@@ -255,7 +330,7 @@ func (e *Engine) Analyze(ctx context.Context, spec Spec) (*core.Result, error) {
 }
 
 // analyzeCached consults the result cache, mining on a miss.
-func (e *Engine) analyzeCached(ctx context.Context, spec Spec, progress func(done, total int)) (*core.Result, bool, error) {
+func (e *Engine) analyzeCached(ctx context.Context, spec Spec, tr *Tracker) (*core.Result, bool, error) {
 	key := spec.CacheKey()
 	if res, ok := e.cache.get(key); ok {
 		return res, true, nil
@@ -264,7 +339,7 @@ func (e *Engine) analyzeCached(ctx context.Context, spec Spec, progress func(don
 	if !ok {
 		return nil, false, fmt.Errorf("%w: dataset %s not registered (or evicted)", ErrBadInput, spec.Dataset)
 	}
-	res, err := e.analyze(ctx, entry.Data, spec, progress)
+	res, err := e.analyze(ctx, entry.Data, spec, tr)
 	if err != nil {
 		return nil, false, err
 	}
@@ -293,12 +368,23 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		e.baseCancel()
-		return nil
+		return e.closeStore()
 	case <-ctx.Done():
 		e.baseCancel() // abort in-flight jobs, then wait for workers
 		<-drained
+		_ = e.closeStore() // the deadline error takes precedence
 		return fmt.Errorf("jobs: shutdown deadline: %w", ctx.Err())
 	}
+}
+
+// closeStore detaches and closes the store, if any. Called after the
+// drain so every worker's terminal record has been appended.
+func (e *Engine) closeStore() error {
+	st := e.store.Swap(nil)
+	if st == nil {
+		return nil
+	}
+	return st.Close()
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -313,6 +399,9 @@ func (e *Engine) Stats() Stats {
 		Failed:      e.failed.Load(),
 		Canceled:    e.canceled.Load(),
 		Rejected:    e.rejected.Load(),
+		Durable:     e.store.Load() != nil,
+		Recovered:   e.recovered.Load(),
+		StoreErrors: e.storeErrs.Load(),
 		ResultCache: e.cache.stats(),
 	}
 }

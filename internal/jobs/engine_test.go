@@ -144,7 +144,7 @@ func TestResultCacheHit(t *testing.T) {
 // blockingAnalyze returns an AnalyzeFunc that signals on started and
 // blocks until its context is canceled.
 func blockingAnalyze(started chan<- string) AnalyzeFunc {
-	return func(ctx context.Context, _ *dataset.Dataset, spec Spec, _ func(int, int)) (*core.Result, error) {
+	return func(ctx context.Context, _ *dataset.Dataset, spec Spec, _ *Tracker) (*core.Result, error) {
 		if started != nil {
 			started <- spec.TruthCol
 		}
@@ -225,7 +225,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestCancelRunningJobObservesContext(t *testing.T) {
 	observed := make(chan struct{})
-	analyze := func(ctx context.Context, _ *dataset.Dataset, _ Spec, _ func(int, int)) (*core.Result, error) {
+	analyze := func(ctx context.Context, _ *dataset.Dataset, _ Spec, _ *Tracker) (*core.Result, error) {
 		<-ctx.Done()
 		close(observed)
 		return nil, ctx.Err()

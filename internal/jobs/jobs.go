@@ -41,6 +41,14 @@ var (
 	// (unknown columns, non-Boolean labels, bad support) as opposed to
 	// internal faults; the server maps it to HTTP 400.
 	ErrBadInput = errors.New("jobs: bad input")
+	// ErrInterrupted marks a job that was queued or running when the
+	// previous process died; Recover re-marks such jobs failed rather
+	// than letting them vanish silently.
+	ErrInterrupted = errors.New("jobs: interrupted by engine restart")
+	// ErrNoResult is returned by Result for done jobs recovered from the
+	// store: the full in-memory result is gone, only the durable summary
+	// (Job.Summary) survives a restart.
+	ErrNoResult = errors.New("jobs: full result not in memory (job recovered from store); use the summary")
 )
 
 // State is a job lifecycle state.
@@ -114,16 +122,19 @@ type Job struct {
 	id   string
 	spec Spec
 
-	mu       sync.Mutex
-	state    State
-	err      error
-	result   *core.Result
-	cacheHit bool
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   func() // non-nil only while running
+	mu        sync.Mutex
+	state     State
+	err       error
+	result    *core.Result
+	summary   *ResultSummary
+	recovered bool
+	cacheHit  bool
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func() // non-nil only while running
 
+	partial       atomic.Pointer[Snapshot]
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
 
@@ -136,12 +147,17 @@ func (j *Job) ID() string { return j.id }
 // Spec returns the submitted spec.
 func (j *Job) Spec() Spec { return j.spec }
 
-// Result returns the mined result once the job is done.
+// Result returns the mined result once the job is done. For done jobs
+// recovered from the store only the summary survives; Result returns
+// ErrNoResult and callers fall back to Summary.
 func (j *Job) Result() (*core.Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateDone:
+		if j.result == nil {
+			return nil, fmt.Errorf("%w: job %s", ErrNoResult, j.id)
+		}
 		return j.result, nil
 	case StateFailed:
 		return nil, j.err
@@ -150,16 +166,38 @@ func (j *Job) Result() (*core.Result, error) {
 	}
 }
 
+// Summary returns the durable result digest, nil until the job is done.
+// It is the only result representation that survives a restart.
+func (j *Job) Summary() *ResultSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.summary
+}
+
+// Partial returns the latest partial-result snapshot, nil before the
+// first one. For jobs recovered from the store this is the last
+// snapshot the previous process persisted.
+func (j *Job) Partial() *Snapshot { return j.partial.Load() }
+
+// Recovered reports whether the job was reconstructed from the store by
+// Recover rather than run by this process.
+func (j *Job) Recovered() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
 // Status is an immutable snapshot of a job's externally visible state.
 type Status struct {
-	ID       string
-	Spec     Spec
-	State    State
-	Err      string
-	CacheHit bool
-	Created  time.Time
-	Started  time.Time
-	Finished time.Time
+	ID        string
+	Spec      Spec
+	State     State
+	Err       string
+	CacheHit  bool
+	Recovered bool
+	Created   time.Time
+	Started   time.Time
+	Finished  time.Time
 	// ProgressDone/ProgressTotal count completed mining subproblems;
 	// both are zero until the first subproblem finishes.
 	ProgressDone  int64
@@ -175,6 +213,7 @@ func (j *Job) Snapshot() Status {
 		Spec:          j.spec,
 		State:         j.state,
 		CacheHit:      j.cacheHit,
+		Recovered:     j.recovered,
 		Created:       j.created,
 		Started:       j.started,
 		Finished:      j.finished,

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Recover opens the job store rooted at dir, replays its log into the
+// engine's job table, and attaches the store for write-through — the
+// startup path of a durable server. After Recover:
+//
+//   - jobs whose log reached a terminal state are visible with their
+//     recorded outcome; done jobs carry the durable result summary (the
+//     full in-memory result does not survive a restart), and the last
+//     persisted partial snapshot, if any, is reattached;
+//   - jobs the previous process left queued or running are re-marked
+//     failed with ErrInterrupted — visible and explained, never
+//     silently lost — and the re-mark is itself written to the log so
+//     the next recovery sees a terminal state;
+//   - submissions the previous process refused (rejected records) are
+//     dropped: the client was already told no.
+//
+// A torn final line (crash mid-append) is repaired by the store on
+// open. Recover returns the number of jobs reconstructed. It is meant
+// to run once, before the engine serves traffic; attaching a second
+// store is an error.
+func (e *Engine) Recover(dir string) (int, error) {
+	st, err := OpenStore(dir)
+	if err != nil {
+		return 0, err
+	}
+	if !e.store.CompareAndSwap(nil, st) {
+		closeErr := st.Close()
+		return 0, errors.Join(fmt.Errorf("jobs: a store is already attached"), closeErr)
+	}
+
+	jobsByID := make(map[string]*Job)
+	rejected := make(map[string]bool)
+	var order []string // log order, for deterministic re-mark records
+	for _, rec := range st.Replay() {
+		j := jobsByID[rec.Job]
+		if j == nil {
+			j = &Job{id: rec.Job, state: StateQueued, created: rec.Time, recovered: true}
+			jobsByID[rec.Job] = j
+			order = append(order, rec.Job)
+		}
+		applyRecord(j, rec, rejected)
+	}
+
+	now := time.Now()
+	var interrupted []string
+	n := 0
+	e.jobsMu.Lock()
+	for _, id := range order {
+		if rejected[id] {
+			continue
+		}
+		j := jobsByID[id]
+		if !j.state.Terminal() {
+			j.state = StateFailed
+			j.err = ErrInterrupted
+			j.finished = now
+			interrupted = append(interrupted, id)
+		}
+		if _, live := e.jobs[id]; live {
+			continue // never clobber a job this process is running
+		}
+		e.jobs[id] = j
+		n++
+	}
+	e.jobsMu.Unlock()
+	e.recovered.Store(int64(n))
+
+	// Re-mark interrupted jobs in the log, outside jobsMu: Append fsyncs.
+	for _, id := range interrupted {
+		e.logRecord(Record{Type: RecFailed, Job: id, Error: ErrInterrupted.Error()})
+	}
+	return n, nil
+}
+
+// applyRecord folds one log record into the job being reconstructed.
+// Records arrive in log order, so the last state transition wins.
+func applyRecord(j *Job, rec Record, rejected map[string]bool) {
+	switch rec.Type {
+	case RecSubmitted:
+		if rec.Spec != nil {
+			j.spec = *rec.Spec
+		}
+		j.created = rec.Time
+	case RecRejected:
+		rejected[rec.Job] = true
+	case RecRunning:
+		j.state = StateRunning
+		j.started = rec.Time
+	case RecSnapshot:
+		if rec.Snapshot != nil {
+			j.partial.Store(rec.Snapshot)
+			j.progressDone.Store(int64(rec.Snapshot.Done))
+			j.progressTotal.Store(int64(rec.Snapshot.Total))
+		}
+	case RecDone:
+		j.state = StateDone
+		j.summary = rec.Result
+		j.cacheHit = rec.CacheHit
+		j.finished = rec.Time
+	case RecFailed:
+		j.state = StateFailed
+		j.err = recordError(rec.Error)
+		j.finished = rec.Time
+	case RecCanceled:
+		j.state = StateCanceled
+		j.err = recordError(rec.Error)
+		j.finished = rec.Time
+	}
+	// Unknown record types (a newer format) are skipped: replay is
+	// forward-compatible with additive changes.
+}
+
+// recordError rehydrates a persisted error string. The interrupted
+// sentinel round-trips as ErrInterrupted so errors.Is keeps working
+// across restarts.
+func recordError(msg string) error {
+	switch msg {
+	case "":
+		return errors.New("jobs: failed in a previous run (no recorded error)")
+	case ErrInterrupted.Error():
+		return ErrInterrupted
+	}
+	return errors.New(msg)
+}

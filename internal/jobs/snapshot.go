@@ -1,0 +1,260 @@
+package jobs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fpm"
+)
+
+// PartialPattern is one itemset in a snapshot or result summary, fully
+// rendered (item names, not dense ids) so it stays meaningful after a
+// restart, when the dataset may no longer be registered.
+type PartialPattern struct {
+	Items      []string `json:"itemset"`
+	Support    float64  `json:"support"`
+	Rate       float64  `json:"rate"`
+	Divergence float64  `json:"divergence"`
+}
+
+// Snapshot is one partial-result snapshot of a running mine: the top-K
+// itemsets by |divergence| among everything mined so far, plus counters.
+// Seq increases with every update, so pollers of /jobs/{id}/partial can
+// detect growth, and Done/Total/Patterns are monotone over a job's life.
+type Snapshot struct {
+	Seq      int64            `json:"seq"`
+	Done     int              `json:"done"`
+	Total    int              `json:"total"`
+	Patterns int64            `json:"patterns"`
+	Metric   string           `json:"metric,omitempty"`
+	Top      []PartialPattern `json:"top"`
+	Updated  time.Time        `json:"updated"`
+}
+
+// MetricSummary is the per-metric slice of a durable result summary.
+type MetricSummary struct {
+	Metric      string           `json:"metric"`
+	OverallRate float64          `json:"overall_rate"`
+	Top         []PartialPattern `json:"top_divergent"`
+}
+
+// ResultSummary is the durable, self-contained digest of a completed
+// analysis that the store persists with the done record. Unlike the full
+// *core.Result it does not reference the transaction database, so it
+// survives a restart (and registry eviction) and is what the server
+// serves for recovered jobs.
+type ResultSummary struct {
+	Rows     int             `json:"rows"`
+	Attrs    int             `json:"attributes"`
+	Patterns int             `json:"frequent_itemsets"`
+	Support  float64         `json:"min_support"`
+	Miner    string          `json:"miner"`
+	Metrics  []MetricSummary `json:"metrics"`
+}
+
+// summarize digests a mined result into its durable summary: the top-K
+// patterns by |divergence| for each requested metric. Metrics undefined
+// on the whole dataset (all-⊥) are skipped — their divergence has no
+// reference point, and NaN cannot survive JSON encoding anyway.
+func summarize(res *core.Result, spec Spec) *ResultSummary {
+	topK := spec.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+	sum := &ResultSummary{
+		Rows:     res.DB.NumRows(),
+		Attrs:    res.DB.Catalog.NumAttrs(),
+		Patterns: res.NumPatterns(),
+		Support:  res.MinSup,
+		Miner:    res.Miner,
+	}
+	for _, name := range spec.Metrics {
+		m, err := core.MetricByName(name)
+		if err != nil {
+			continue // validated at submission; stale names are skipped
+		}
+		rate := res.GlobalRate(m)
+		if math.IsNaN(rate) {
+			continue
+		}
+		ms := MetricSummary{Metric: m.Name, OverallRate: rate}
+		for _, rk := range res.TopK(m, topK, core.ByAbsDivergence) {
+			ms.Top = append(ms.Top, PartialPattern{
+				Items:      itemNameList(res.DB.Catalog, rk.Items),
+				Support:    rk.Support,
+				Rate:       rk.Rate,
+				Divergence: rk.Divergence,
+			})
+		}
+		sum.Metrics = append(sum.Metrics, ms)
+	}
+	return sum
+}
+
+func itemNameList(cat *fpm.Catalog, is fpm.Itemset) []string {
+	out := make([]string, len(is))
+	for i, it := range is {
+		out[i] = cat.Name(it)
+	}
+	return out
+}
+
+// Tracker carries a running job's live telemetry out of the analysis
+// function: progress counters and partial-result snapshots. The engine
+// builds one per job run; a nil Tracker (the synchronous /analyze path,
+// or tests) turns every method into a no-op. Methods are safe for
+// concurrent use — the parallel miner calls them from several workers.
+type Tracker struct {
+	job     *Job
+	every   time.Duration   // persistence cadence; <= 0 persists every update
+	persist func(*Snapshot) // write-through to the store; may be nil
+
+	mu          sync.Mutex
+	seq         int64
+	lastPersist time.Time
+}
+
+// Progress records mining-subproblem completion counts on the job. It
+// has the signature fpm.Parallel.Progress expects.
+func (t *Tracker) Progress(done, total int) {
+	if t == nil || t.job == nil {
+		return
+	}
+	t.job.progressDone.Store(int64(done))
+	t.job.progressTotal.Store(int64(total))
+}
+
+// Partial publishes a new partial-result snapshot: it is stamped with
+// the next sequence number, made visible to pollers immediately, and
+// written through to the store at the configured cadence (terminal
+// persistence is the engine's job, so a rate-limited snapshot lost in a
+// crash costs only staleness, never correctness).
+func (t *Tracker) Partial(snap Snapshot) {
+	if t == nil || t.job == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	snap.Seq = t.seq
+	snap.Updated = time.Now()
+	due := t.persist != nil &&
+		(t.every <= 0 || t.lastPersist.IsZero() || time.Since(t.lastPersist) >= t.every)
+	if due {
+		t.lastPersist = snap.Updated
+	}
+	t.mu.Unlock()
+
+	t.job.partial.Store(&snap)
+	if due {
+		t.persist(&snap)
+	}
+}
+
+// partialAccum folds per-subproblem pattern batches into a running
+// top-K-by-|divergence| leaderboard for one metric. It is the bridge
+// between fpm.Parallel.Emit and Tracker.Partial.
+type partialAccum struct {
+	metric  core.Metric
+	defined bool // false when the metric is all-⊥ on the whole dataset
+	global  float64
+	rows    float64
+	cat     *fpm.Catalog
+	topK    int
+
+	mu       sync.Mutex
+	patterns int64
+	top      []scoredPattern // descending |divergence|, len <= topK
+}
+
+type scoredPattern struct {
+	items      fpm.Itemset
+	support    float64
+	rate       float64
+	divergence float64
+}
+
+// newPartialAccum prepares an accumulator for the spec's first metric
+// (the leaderboard metric for partial snapshots; the full result covers
+// all metrics at completion).
+func newPartialAccum(db *fpm.TxDB, spec Spec) *partialAccum {
+	topK := spec.TopK
+	if topK <= 0 {
+		topK = 10
+	}
+	acc := &partialAccum{
+		rows: float64(db.NumRows()),
+		cat:  db.Catalog,
+		topK: topK,
+	}
+	if len(spec.Metrics) > 0 {
+		if m, err := core.MetricByName(spec.Metrics[0]); err == nil {
+			acc.metric = m
+			kp, kn := m.Counts(db.TotalTally())
+			if kp+kn > 0 {
+				acc.defined = true
+				acc.global = float64(kp) / float64(kp+kn)
+			}
+		}
+	}
+	return acc
+}
+
+// add folds one emitted batch and returns the snapshot reflecting it.
+func (a *partialAccum) add(batch []fpm.FrequentPattern, done, total int) Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.patterns += int64(len(batch))
+	if a.defined {
+		for _, p := range batch {
+			kp, kn := a.metric.Counts(p.Tally)
+			if kp+kn == 0 {
+				continue
+			}
+			rate := float64(kp) / float64(kp+kn)
+			a.insert(scoredPattern{
+				items:      p.Items,
+				support:    float64(p.Tally.Total()) / a.rows,
+				rate:       rate,
+				divergence: rate - a.global,
+			})
+		}
+	}
+	snap := Snapshot{
+		Done:     done,
+		Total:    total,
+		Patterns: a.patterns,
+		Metric:   a.metric.Name,
+		Top:      make([]PartialPattern, len(a.top)),
+	}
+	for i, sp := range a.top {
+		snap.Top[i] = PartialPattern{
+			Items:      itemNameList(a.cat, sp.items),
+			Support:    sp.support,
+			Rate:       sp.rate,
+			Divergence: sp.divergence,
+		}
+	}
+	return snap
+}
+
+// insert places sp into the descending-|divergence| leaderboard,
+// dropping the weakest entry when over capacity. K is small (the
+// request's top-k), so insertion sort beats a heap here.
+func (a *partialAccum) insert(sp scoredPattern) {
+	abs := math.Abs(sp.divergence)
+	if len(a.top) == a.topK && abs <= math.Abs(a.top[len(a.top)-1].divergence) {
+		return
+	}
+	pos := len(a.top)
+	for pos > 0 && abs > math.Abs(a.top[pos-1].divergence) {
+		pos--
+	}
+	a.top = append(a.top, scoredPattern{})
+	copy(a.top[pos+1:], a.top[pos:])
+	a.top[pos] = sp
+	if len(a.top) > a.topK {
+		a.top = a.top[:a.topK]
+	}
+}

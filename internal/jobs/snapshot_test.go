@@ -1,0 +1,247 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+)
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Progress(1, 2) // must not panic
+	tr.Partial(Snapshot{Done: 1, Total: 2})
+	tr = &Tracker{} // no job attached: also a no-op
+	tr.Progress(1, 2)
+	tr.Partial(Snapshot{Done: 1, Total: 2})
+}
+
+func TestTrackerSeqMonotonicUnderConcurrency(t *testing.T) {
+	job := &Job{id: "x"}
+	var persistMu sync.Mutex
+	var persisted []int64
+	tr := &Tracker{
+		job: job,
+		persist: func(s *Snapshot) {
+			persistMu.Lock()
+			persisted = append(persisted, s.Seq)
+			persistMu.Unlock()
+		},
+	}
+
+	// Writers publish concurrently while a poller checks that the seq it
+	// observes through Job.Partial never goes backwards — the contract
+	// the /jobs/{id}/partial endpoint exposes to clients.
+	stop := make(chan struct{})
+	var pollerErr error
+	var pollerWG sync.WaitGroup
+	pollerWG.Add(1)
+	go func() {
+		defer pollerWG.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := job.Partial(); s != nil {
+				if s.Seq < last {
+					pollerErr = fmt.Errorf("seq went backwards: %d after %d", s.Seq, last)
+					return
+				}
+				last = s.Seq
+			}
+		}
+	}()
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Partial(Snapshot{Done: i, Total: perWriter})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollerWG.Wait()
+	if pollerErr != nil {
+		t.Fatal(pollerErr)
+	}
+
+	final := job.Partial()
+	if final == nil || final.Seq != writers*perWriter {
+		t.Fatalf("final seq = %+v, want %d", final, writers*perWriter)
+	}
+	// SnapshotEvery <= 0 persists every update, and each persisted seq is
+	// distinct.
+	if len(persisted) != writers*perWriter {
+		t.Fatalf("persisted %d snapshots, want %d", len(persisted), writers*perWriter)
+	}
+	seen := make(map[int64]bool, len(persisted))
+	for _, s := range persisted {
+		if seen[s] {
+			t.Fatalf("seq %d persisted twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTrackerPersistCadence(t *testing.T) {
+	job := &Job{id: "x"}
+	var persisted int
+	tr := &Tracker{
+		job:     job,
+		every:   time.Hour,
+		persist: func(*Snapshot) { persisted++ },
+	}
+	for i := 0; i < 10; i++ {
+		tr.Partial(Snapshot{Done: i, Total: 10})
+	}
+	if persisted != 1 {
+		t.Errorf("persisted %d snapshots under a 1h cadence, want 1 (the first)", persisted)
+	}
+	// The in-memory snapshot still advanced on every update.
+	if s := job.Partial(); s == nil || s.Seq != 10 {
+		t.Errorf("in-memory seq = %+v, want 10", s)
+	}
+}
+
+// sampleTxDB builds the TxDB RunAnalysis would mine for sampleCSV.
+func sampleTxDB(t *testing.T) *fpm.TxDB {
+	t.Helper()
+	d, err := dataset.ReadCSV(strings.NewReader(sampleCSV), dataset.CSVOptions{TrimSpace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, pred, rest, err := extractLabels(d, "truth", "pred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := fpm.NewTxDB(rest, classes, core.NumConfusionClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPartialAccumLeaderboard(t *testing.T) {
+	db := sampleTxDB(t)
+	spec := Spec{Metrics: []string{"FPR"}, TopK: 3}
+	acc := newPartialAccum(db, spec)
+	if !acc.defined {
+		t.Fatal("FPR undefined on sample data")
+	}
+
+	// Mine the real patterns, then feed them through the accumulator in
+	// two batches and check the leaderboard invariants after each.
+	all, err := fpm.FPGrowth{}.Mine(db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("only %d patterns mined; the test needs more", len(all))
+	}
+	mid := len(all) / 2
+	var prevPatterns int64
+	for i, batch := range [][]fpm.FrequentPattern{all[:mid], all[mid:]} {
+		snap := acc.add(batch, i+1, 2)
+		if snap.Patterns <= prevPatterns {
+			t.Errorf("batch %d: pattern count %d not increasing from %d", i, snap.Patterns, prevPatterns)
+		}
+		prevPatterns = snap.Patterns
+		if len(snap.Top) > spec.TopK {
+			t.Errorf("batch %d: leaderboard has %d entries, cap %d", i, len(snap.Top), spec.TopK)
+		}
+		for j := 1; j < len(snap.Top); j++ {
+			if math.Abs(snap.Top[j].Divergence) > math.Abs(snap.Top[j-1].Divergence) {
+				t.Errorf("batch %d: leaderboard not sorted by |divergence| at %d", i, j)
+			}
+		}
+		if snap.Metric != "FPR" {
+			t.Errorf("batch %d: metric = %q", i, snap.Metric)
+		}
+	}
+	if prevPatterns != int64(len(all)) {
+		t.Errorf("final pattern count %d, want %d", prevPatterns, len(all))
+	}
+
+	// After all batches the leaderboard head must agree with the full
+	// result's top-1 by |divergence|.
+	res, err := core.Explore(db, 0.0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.MetricByName("FPR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.TopK(m, 1, core.ByAbsDivergence)
+	gotTop := acc.top
+	if len(want) == 0 || len(gotTop) == 0 {
+		t.Fatal("no top pattern on either side")
+	}
+	// lint:ignore floatcmp both sides compute the same rate difference
+	// from the same integer tallies, so exact equality is expected.
+	if math.Abs(gotTop[0].divergence) != math.Abs(want[0].Divergence) {
+		t.Errorf("leaderboard head |divergence| = %v, full result = %v",
+			gotTop[0].divergence, want[0].Divergence)
+	}
+}
+
+func TestPartialGrowsMonotonicallyDuringJob(t *testing.T) {
+	// An analyze func that publishes a stream of snapshots while a
+	// concurrent poller (standing in for GET /jobs/{id}/partial clients)
+	// asserts seq, done and patterns never regress.
+	const steps = 40
+	analyze := func(ctx context.Context, _ *dataset.Dataset, _ Spec, tr *Tracker) (*core.Result, error) {
+		for i := 1; i <= steps; i++ {
+			tr.Partial(Snapshot{Done: i, Total: steps, Patterns: int64(i * 3)})
+			tr.Progress(i, steps)
+		}
+		return nil, context.Canceled // terminal without needing a real result
+	}
+	e, h := testEngine(t, Config{Workers: 1, Analyze: analyze})
+	job, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last Snapshot
+	observe := func() {
+		if s := job.Partial(); s != nil {
+			if s.Seq < last.Seq || s.Done < last.Done || s.Patterns < last.Patterns {
+				t.Fatalf("partial regressed: %+v after %+v", s, last)
+			}
+			last = *s
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		observe()
+		if job.Snapshot().State.Terminal() {
+			break
+		}
+	}
+	// One more read after the terminal state: the whole job may have run
+	// between the last observation and the terminal check.
+	observe()
+	if last.Seq != steps || last.Done != steps {
+		t.Errorf("final partial = %+v, want seq=done=%d", last, steps)
+	}
+}

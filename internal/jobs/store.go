@@ -1,0 +1,225 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record types, in lifecycle order. Every transition the engine makes is
+// written through to the store as one JSON line, so replaying the log
+// reconstructs the externally visible history of every job.
+const (
+	// RecSubmitted opens a job's history and carries its spec.
+	RecSubmitted = "submitted"
+	// RecRejected closes the history of a submission that never ran
+	// (queue full while the submitted record was already written).
+	// Replay drops the job entirely: the client was told no.
+	RecRejected = "rejected"
+	// RecRunning marks the hand-off to a worker.
+	RecRunning = "running"
+	// RecSnapshot carries a partial-result snapshot of a running mine.
+	RecSnapshot = "snapshot"
+	// RecDone closes a successful job and carries its result summary.
+	RecDone = "done"
+	// RecFailed and RecCanceled close unsuccessful jobs.
+	RecFailed   = "failed"
+	RecCanceled = "canceled"
+)
+
+// storeVersion is the record format version written by this build.
+const storeVersion = 1
+
+// Record is one write-ahead log entry. Exactly one of Spec, Snapshot and
+// Result is set, depending on Type.
+type Record struct {
+	V        int            `json:"v"`
+	Type     string         `json:"type"`
+	Job      string         `json:"job"`
+	Time     time.Time      `json:"time"`
+	Spec     *Spec          `json:"spec,omitempty"`
+	Snapshot *Snapshot      `json:"snapshot,omitempty"`
+	Result   *ResultSummary `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	CacheHit bool           `json:"cache_hit,omitempty"`
+}
+
+// terminal reports whether the record closes a job's history. Terminal
+// records (and submitted ones — the durability ack) are fsynced.
+func (r Record) terminal() bool {
+	switch r.Type {
+	case RecDone, RecFailed, RecCanceled, RecRejected:
+		return true
+	}
+	return false
+}
+
+// WALName is the log file name inside a store directory.
+const WALName = "jobs.wal"
+
+// Store is a write-ahead, file-backed job store: an append-only file of
+// JSON-line records under a directory. Opening the store replays the
+// existing log (repairing a torn final line left by a crash mid-write)
+// and positions the file for appends. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	replayed []Record
+	repaired int64 // bytes dropped from a torn tail at open
+	appends  int64
+	closed   bool
+}
+
+// OpenStore opens (creating if needed) the job store rooted at dir. The
+// existing log is read and validated: a final line that does not parse —
+// the signature of a crash mid-append — is truncated away, while garbage
+// anywhere else fails the open, because silently skipping interior
+// records would un-happen acknowledged jobs.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store dir: %w", err)
+	}
+	path := filepath.Join(dir, WALName)
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobs: reading store log: %w", err)
+	}
+	records, validLen, err := scanLog(raw)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: store log %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: opening store log: %w", err)
+	}
+	if validLen < int64(len(raw)) {
+		if err := f.Truncate(validLen); err != nil {
+			_ = f.Close() // the truncate error is the one worth reporting
+			return nil, fmt.Errorf("jobs: repairing torn store log: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		_ = f.Close() // the seek error is the one worth reporting
+		return nil, fmt.Errorf("jobs: seeking store log: %w", err)
+	}
+	return &Store{
+		f:        f,
+		path:     path,
+		replayed: records,
+		repaired: int64(len(raw)) - validLen,
+	}, nil
+}
+
+// scanLog parses the raw log bytes into records and returns the length
+// of the valid prefix. A trailing line that fails to parse (torn write)
+// is excluded from the valid prefix; a malformed interior line is an
+// error.
+func scanLog(raw []byte) ([]Record, int64, error) {
+	var records []Record
+	var valid int64
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		consumed := valid + int64(len(b)) + 1 // +1 for the newline
+		if len(b) == 0 {
+			valid = consumed
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil || rec.Type == "" || rec.Job == "" {
+			// Only a torn tail is repairable: the line must be the last
+			// one AND unterminated or end-of-input.
+			if consumed >= int64(len(raw)) {
+				return records, valid, nil
+			}
+			return nil, 0, fmt.Errorf("corrupt record at line %d", line)
+		}
+		records = append(records, rec)
+		if consumed > int64(len(raw)) {
+			consumed = int64(len(raw))
+		}
+		valid = consumed
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("scanning log: %w", err)
+	}
+	return records, valid, nil
+}
+
+// Replay returns the records read when the store was opened, in log
+// order. The caller must not modify the returned slice.
+func (s *Store) Replay() []Record { return s.replayed }
+
+// Repaired returns the number of torn-tail bytes dropped at open (zero
+// for a cleanly closed log).
+func (s *Store) Repaired() int64 { return s.repaired }
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }
+
+// Append writes one record to the log. Submitted and terminal records
+// are fsynced before Append returns — the write-ahead contract: no job
+// the client was told about can vanish in a crash.
+func (s *Store) Append(rec Record) error {
+	if rec.V == 0 {
+		rec.V = storeVersion
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding store record: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobs: store is closed")
+	}
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("jobs: appending store record: %w", err)
+	}
+	s.appends++
+	if rec.terminal() || rec.Type == RecSubmitted {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: syncing store log: %w", err)
+		}
+	}
+	return nil
+}
+
+// Appends returns the number of records appended since open.
+func (s *Store) Appends() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appends
+}
+
+// Close syncs and closes the log file. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		_ = s.f.Close() // the sync error is the one worth reporting
+		return fmt.Errorf("jobs: syncing store log: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("jobs: closing store log: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Type: RecSubmitted, Job: "a", Spec: &Spec{TruthCol: "truth", Support: 0.1}},
+		{Type: RecRunning, Job: "a"},
+		{Type: RecSnapshot, Job: "a", Snapshot: &Snapshot{Seq: 1, Done: 2, Total: 5}},
+		{Type: RecDone, Job: "a", Result: &ResultSummary{Rows: 14, Patterns: 3}, CacheHit: true},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Appends(); got != int64(len(recs)) {
+		t.Errorf("Appends() = %d, want %d", got, len(recs))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := st2.Replay()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	if st2.Repaired() != 0 {
+		t.Errorf("clean log reported %d repaired bytes", st2.Repaired())
+	}
+	for i, r := range got {
+		if r.Type != recs[i].Type || r.Job != recs[i].Job {
+			t.Errorf("record %d = %s/%s, want %s/%s", i, r.Type, r.Job, recs[i].Type, recs[i].Job)
+		}
+		if r.V != storeVersion {
+			t.Errorf("record %d version = %d, want %d", i, r.V, storeVersion)
+		}
+		if r.Time.IsZero() {
+			t.Errorf("record %d has no timestamp", i)
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.Support != 0.1 {
+		t.Errorf("submitted spec did not round-trip: %+v", got[0].Spec)
+	}
+	if got[2].Snapshot == nil || got[2].Snapshot.Done != 2 {
+		t.Errorf("snapshot did not round-trip: %+v", got[2].Snapshot)
+	}
+	if got[3].Result == nil || got[3].Result.Rows != 14 || !got[3].CacheHit {
+		t.Errorf("done record did not round-trip: %+v", got[3])
+	}
+}
+
+func TestStoreTornTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Type: RecSubmitted, Job: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Type: RecDone, Job: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a partial JSON line with no newline.
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"type":"subm`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("torn tail must be repaired, got %v", err)
+	}
+	if got := len(st2.Replay()); got != 2 {
+		t.Errorf("replayed %d records after repair, want 2", got)
+	}
+	if st2.Repaired() == 0 {
+		t.Error("Repaired() = 0 after a torn tail")
+	}
+	// The repaired store must accept appends cleanly on the truncated file.
+	if err := st2.Append(Record{Type: RecSubmitted, Job: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st3.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := len(st3.Replay()); got != 3 {
+		t.Errorf("replayed %d records after repair+append, want 3", got)
+	}
+}
+
+func TestStoreInteriorCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, WALName)
+	log := `{"v":1,"type":"submitted","job":"a","time":"2026-01-01T00:00:00Z"}
+not json at all
+{"v":1,"type":"done","job":"a","time":"2026-01-01T00:00:01Z"}
+`
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenStore(dir)
+	if err == nil || !strings.Contains(err.Error(), "corrupt record at line 2") {
+		t.Fatalf("OpenStore err = %v, want interior-corruption error at line 2", err)
+	}
+}
+
+func TestStoreAppendAfterCloseFails(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // idempotent
+		t.Errorf("second Close err = %v", err)
+	}
+	if err := st.Append(Record{Type: RecSubmitted, Job: "x"}); err == nil {
+		t.Error("Append after Close succeeded")
+	}
+}
+
+func TestStoreEmptyAndBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, WALName)
+	log := "\n{\"v\":1,\"type\":\"submitted\",\"job\":\"a\",\"time\":\"2026-01-01T00:00:00Z\"}\n\n"
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if got := len(st.Replay()); got != 1 {
+		t.Errorf("replayed %d records, want 1 (blank lines skipped)", got)
+	}
+	if st.Repaired() != 0 {
+		t.Errorf("blank lines counted as torn bytes: %d", st.Repaired())
+	}
+}
+
+func TestRecordErrorRoundTripsInterrupted(t *testing.T) {
+	if err := recordError(ErrInterrupted.Error()); !errors.Is(err, ErrInterrupted) {
+		t.Errorf("recordError did not rehydrate ErrInterrupted: %v", err)
+	}
+	if err := recordError("boom"); err == nil || err.Error() != "boom" {
+		t.Errorf("recordError(boom) = %v", err)
+	}
+	if err := recordError(""); err == nil {
+		t.Error("recordError(\"\") = nil, want a placeholder error")
+	}
+}

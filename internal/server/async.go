@@ -38,11 +38,14 @@ type jobJSON struct {
 	Dataset    string        `json:"dataset"`
 	Error      string        `json:"error,omitempty"`
 	CacheHit   bool          `json:"cache_hit"`
+	Recovered  bool          `json:"recovered,omitempty"`
 	CreatedAt  string        `json:"created_at"`
 	StartedAt  string        `json:"started_at,omitempty"`
 	FinishedAt string        `json:"finished_at,omitempty"`
 	Progress   *progressJSON `json:"progress,omitempty"`
 	ResultURL  string        `json:"result_url,omitempty"`
+	PartialURL string        `json:"partial_url,omitempty"`
+	EventsURL  string        `json:"events_url,omitempty"`
 }
 
 func jobToJSON(st jobs.Status) jobJSON {
@@ -52,6 +55,7 @@ func jobToJSON(st jobs.Status) jobJSON {
 		Dataset:   string(st.Spec.Dataset),
 		Error:     st.Err,
 		CacheHit:  st.CacheHit,
+		Recovered: st.Recovered,
 		CreatedAt: st.Created.UTC().Format(time.RFC3339Nano),
 	}
 	if !st.Started.IsZero() {
@@ -65,6 +69,12 @@ func jobToJSON(st jobs.Status) jobJSON {
 	}
 	if st.State == jobs.StateDone {
 		j.ResultURL = "/jobs/" + st.ID + "/result"
+	}
+	if !st.State.Terminal() {
+		j.EventsURL = "/jobs/" + st.ID + "/events"
+	}
+	if st.State == jobs.StateRunning || st.State == jobs.StateDone {
+		j.PartialURL = "/jobs/" + st.ID + "/partial"
 	}
 	return j
 }
@@ -180,7 +190,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := job.Result()
-	if err != nil {
+	switch {
+	case errors.Is(err, jobs.ErrNoResult):
+		// The job was recovered from the store: the full in-memory result
+		// did not survive the restart, but its durable summary did.
+		if sum := job.Summary(); sum != nil {
+			writeJSON(w, http.StatusOK, sum)
+			return
+		}
+		writeError(w, http.StatusGone, err.Error())
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

@@ -192,7 +192,7 @@ func TestJobQueueFull(t *testing.T) {
 		Registry:   reg,
 		Workers:    1,
 		QueueDepth: 1,
-		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, _ func(int, int)) (*core.Result, error) {
+		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, _ *jobs.Tracker) (*core.Result, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -249,7 +249,7 @@ func TestJobCancelMidFlight(t *testing.T) {
 	engine, err := jobs.New(jobs.Config{
 		Registry: reg,
 		Workers:  1,
-		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, _ func(int, int)) (*core.Result, error) {
+		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, _ *jobs.Tracker) (*core.Result, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			close(observed)

@@ -17,7 +17,16 @@
 //	                       ?dataset=<hash> for a registered dataset)
 //	GET    /jobs/{id}        job status and progress
 //	GET    /jobs/{id}/result completed job result (json, csv or html)
+//	GET    /jobs/{id}/partial latest partial-result snapshot (top-K by
+//	                       |divergence| mined so far); 204 before the first
+//	GET    /jobs/{id}/events Server-Sent Events stream of partial
+//	                       snapshots and state transitions
 //	DELETE /jobs/{id}        cancel a queued or running job
+//
+// With a job store attached (divexplorer-server -store-dir) every job
+// lifecycle transition is written through to disk and replayed on boot,
+// so completed results outlive a restart; jobs recovered that way are
+// marked "recovered" and serve their durable summary from /result.
 //
 // Query parameters shared by /analyze and /jobs:
 //
@@ -118,6 +127,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/partial", s.handleJobPartial)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux

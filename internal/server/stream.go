@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// eventsPollInterval is how often the SSE handler re-samples a job's
+// state and partial snapshot. It bounds event latency, not event rate:
+// unchanged samples emit nothing.
+const eventsPollInterval = 100 * time.Millisecond
+
+// handleJobPartial implements GET /jobs/{id}/partial: the latest
+// partial-result snapshot of a running (or finished) mine — the top-K
+// itemsets by |divergence| over everything mined so far, plus progress
+// counters. Pollers compare the seq field across reads to detect
+// growth. 204 until the first snapshot exists.
+func (s *Server) handleJobPartial(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	snap := job.Partial()
+	if snap == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleJobEvents implements GET /jobs/{id}/events: a Server-Sent
+// Events stream of the job's life. Each new partial snapshot arrives as
+// a "partial" event, each lifecycle transition as a "state" event; the
+// stream ends after the terminal state is delivered. Clients that
+// reconnect simply get the current state again — events carry full
+// snapshots, not deltas, so the stream is safe to resume.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+
+	var lastSeq int64
+	var lastState jobs.State = -1
+	for {
+		st := job.Snapshot()
+		if snap := job.Partial(); snap != nil && snap.Seq > lastSeq {
+			lastSeq = snap.Seq
+			writeSSE(w, "partial", snap)
+		}
+		if st.State != lastState {
+			lastState = st.State
+			writeSSE(w, "state", jobToJSON(st))
+		}
+		flusher.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// writeSSE emits one Server-Sent Event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Snapshots and statuses are always marshalable; defensive only.
+		data = []byte(`{"error":"encoding event"}`)
+	}
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data) // nothing to do if the client went away
+}

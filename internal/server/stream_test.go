@@ -1,0 +1,288 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+// steppedEngine builds an engine whose analyze publishes `steps` partial
+// snapshots, pausing at a gate after each so tests can sample the HTTP
+// surface between updates deterministically.
+func steppedEngine(t *testing.T, reg *registry.Registry, steps int) (*jobs.Engine, chan struct{}, chan struct{}) {
+	t.Helper()
+	emitted := make(chan struct{})
+	release := make(chan struct{})
+	engine, err := jobs.New(jobs.Config{
+		Registry: reg,
+		Workers:  1,
+		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, tr *jobs.Tracker) (*core.Result, error) {
+			for i := 1; i <= steps; i++ {
+				tr.Partial(jobs.Snapshot{Done: i, Total: steps, Patterns: int64(i)})
+				tr.Progress(i, steps)
+				select {
+				case emitted <- struct{}{}:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return nil, fmt.Errorf("%w: stepped analyze carries no result", jobs.ErrBadInput)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, emitted, release
+}
+
+func TestJobPartialEndpoint(t *testing.T) {
+	reg := registry.New(0)
+	engine, emitted, release := steppedEngine(t, reg, 3)
+	s := newTestServer(t, Options{Registry: reg, Engine: engine})
+	h := s.Handler()
+
+	if w := do(t, h, http.MethodGet, "/jobs/nope/partial", ""); w.Code != http.StatusNotFound {
+		t.Errorf("partial of unknown job = %d, want 404", w.Code)
+	}
+
+	w := do(t, h, http.MethodPost, "/jobs", sampleCSV)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body.String())
+	}
+	id := decode[jobJSON](t, w).ID
+
+	// Sample /partial after each emitted snapshot: seq and done must grow
+	// monotonically exactly in step.
+	var lastSeq int64
+	for i := 1; i <= 3; i++ {
+		<-emitted
+		w := do(t, h, http.MethodGet, "/jobs/"+id+"/partial", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("step %d: GET partial = %d: %s", i, w.Code, w.Body.String())
+		}
+		snap := decode[jobs.Snapshot](t, w)
+		if snap.Done != i || snap.Total != 3 {
+			t.Errorf("step %d: partial = %+v", i, snap)
+		}
+		if snap.Seq <= lastSeq {
+			t.Errorf("step %d: seq %d did not grow past %d", i, snap.Seq, lastSeq)
+		}
+		lastSeq = snap.Seq
+		release <- struct{}{}
+	}
+	st := pollJob(t, h, id)
+	if st.State != "failed" { // the stepped analyze ends in a failure by design
+		t.Fatalf("final state = %s", st.State)
+	}
+	// The last snapshot stays readable after the job is terminal.
+	if w := do(t, h, http.MethodGet, "/jobs/"+id+"/partial", ""); w.Code != http.StatusOK {
+		t.Errorf("partial after terminal = %d, want 200", w.Code)
+	}
+}
+
+func TestJobPartialNoContentBeforeFirstSnapshot(t *testing.T) {
+	reg := registry.New(0)
+	started := make(chan struct{}, 1)
+	engine, err := jobs.New(jobs.Config{
+		Registry: reg,
+		Workers:  1,
+		Analyze: func(ctx context.Context, _ *dataset.Dataset, _ jobs.Spec, _ *jobs.Tracker) (*core.Result, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Registry: reg, Engine: engine})
+	h := s.Handler()
+	w := do(t, h, http.MethodPost, "/jobs", sampleCSV)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", w.Code)
+	}
+	id := decode[jobJSON](t, w).ID
+	<-started
+	if w := do(t, h, http.MethodGet, "/jobs/"+id+"/partial", ""); w.Code != http.StatusNoContent {
+		t.Errorf("partial before first snapshot = %d, want 204", w.Code)
+	}
+	if w := do(t, h, http.MethodDelete, "/jobs/"+id, ""); w.Code != http.StatusOK {
+		t.Fatal("cancel failed")
+	}
+}
+
+func TestJobEventsStream(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	if w := do(t, h, http.MethodGet, "/jobs/nope/events", ""); w.Code != http.StatusNotFound {
+		t.Errorf("events of unknown job = %d, want 404", w.Code)
+	}
+
+	w := do(t, h, http.MethodPost, "/jobs?metric=FPR", sampleCSV)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body.String())
+	}
+	id := decode[jobJSON](t, w).ID
+
+	// The handler runs the stream to completion before returning, so a
+	// plain recorder captures the whole event sequence.
+	ev := do(t, h, http.MethodGet, "/jobs/"+id+"/events", "")
+	if ev.Code != http.StatusOK {
+		t.Fatalf("GET events = %d: %s", ev.Code, ev.Body.String())
+	}
+	if ct := ev.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content type = %q", ct)
+	}
+	body := ev.Body.String()
+	if !strings.Contains(body, "event: state") {
+		t.Errorf("stream carries no state events:\n%s", body)
+	}
+	// The stream must end with the terminal state delivered.
+	if !strings.Contains(body, `"state": "done"`) && !strings.Contains(body, `"state":"done"`) {
+		t.Errorf("stream never delivered the done state:\n%s", body)
+	}
+	// Every event is a well-formed SSE frame: event line, data line, blank.
+	for _, frame := range strings.Split(strings.TrimSuffix(body, "\n\n"), "\n\n") {
+		lines := strings.SplitN(frame, "\n", 2)
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") || !strings.HasPrefix(lines[1], "data: ") {
+			t.Errorf("malformed SSE frame: %q", frame)
+		}
+	}
+}
+
+func TestJobEventsStreamDeliversPartials(t *testing.T) {
+	reg := registry.New(0)
+	engine, emitted, release := steppedEngine(t, reg, 2)
+	s := newTestServer(t, Options{Registry: reg, Engine: engine})
+	h := s.Handler()
+	w := do(t, h, http.MethodPost, "/jobs", sampleCSV)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d", w.Code)
+	}
+	id := decode[jobJSON](t, w).ID
+
+	// Drive the job while the stream is being consumed concurrently.
+	done := make(chan string, 1)
+	go func() {
+		ev := do(t, h, http.MethodGet, "/jobs/"+id+"/events", "")
+		done <- ev.Body.String()
+	}()
+	for i := 0; i < 2; i++ {
+		<-emitted
+		release <- struct{}{}
+	}
+	select {
+	case body := <-done:
+		if !strings.Contains(body, "event: partial") {
+			t.Errorf("stream carries no partial events:\n%s", body)
+		}
+		if !strings.Contains(body, `"state": "failed"`) && !strings.Contains(body, `"state":"failed"`) {
+			t.Errorf("stream never delivered the terminal state:\n%s", body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("events stream never terminated")
+	}
+}
+
+// TestStatszUnderConcurrentLoad hammers submission, cancellation and
+// /statsz reads concurrently; with -race this doubles as the counter
+// synchronization audit, and afterwards the counters must reconcile.
+func TestStatszUnderConcurrentLoad(t *testing.T) {
+	reg := registry.New(0)
+	engine, err := jobs.New(jobs.Config{Registry: reg, Workers: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Registry: reg, Engine: engine})
+	h := s.Handler()
+
+	const submitters, perSubmitter = 4, 10
+	var mu sync.Mutex
+	var accepted []string
+	var rejected int64
+	stop := make(chan struct{})
+
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w := do(t, h, http.MethodGet, "/statsz", ""); w.Code != http.StatusOK {
+					t.Errorf("statsz = %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perSubmitter; i++ {
+				// Distinct supports spread the cache keys; collisions are
+				// fine and exercise the cache-hit counters instead.
+				support := fmt.Sprintf("0.%02d", (g*perSubmitter+i)%99+1)
+				w := do(t, h, http.MethodPost, "/jobs?support="+support+"&metric=FPR", sampleCSV)
+				switch w.Code {
+				case http.StatusAccepted:
+					id := decode[jobJSON](t, w).ID
+					mu.Lock()
+					accepted = append(accepted, id)
+					mu.Unlock()
+					if i%3 == 0 { // cancel a share of them mid-flight
+						do(t, h, http.MethodDelete, "/jobs/"+id, "")
+					}
+				case http.StatusTooManyRequests:
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					t.Errorf("submit = %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	for _, id := range accepted {
+		pollJob(t, h, id)
+	}
+	close(stop)
+	readers.Wait()
+
+	stats := decode[statszJSON](t, do(t, h, http.MethodGet, "/statsz", ""))
+	if stats.Jobs.Submitted != int64(len(accepted)) {
+		t.Errorf("submitted = %d, want %d", stats.Jobs.Submitted, len(accepted))
+	}
+	if got := stats.Jobs.Completed + stats.Jobs.Failed + stats.Jobs.Canceled; got != int64(len(accepted)) {
+		t.Errorf("terminal counters sum to %d, want %d (%+v)", got, len(accepted), stats.Jobs)
+	}
+	if stats.Jobs.Rejected != rejected {
+		t.Errorf("rejected = %d, want %d", stats.Jobs.Rejected, rejected)
+	}
+	if stats.Jobs.Busy != 0 || stats.Jobs.QueueLen != 0 {
+		t.Errorf("idle engine reports busy=%d queue=%d", stats.Jobs.Busy, stats.Jobs.QueueLen)
+	}
+}

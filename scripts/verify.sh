@@ -16,7 +16,17 @@
 #                                  submit/cancel/shutdown interleavings
 #                                  are timing-sensitive, so extra runs
 #                                  buy extra schedules
-#   6. benchmark smoke             every benchmark once, so a bench that
+#   6. fuzz smoke                  each native fuzz target for 10s of
+#                                  fresh input generation on top of the
+#                                  checked-in seed corpus (one target
+#                                  per package per run, as go test
+#                                  requires)
+#   7. coverage summary            per-package statement coverage for
+#                                  the durability layer (internal/jobs)
+#                                  and the miners the differential
+#                                  suite guards (internal/fpm) —
+#                                  informational, printed not gated
+#   8. benchmark smoke             every benchmark once, so a bench that
 #                                  panics or no longer compiles fails
 #                                  the gate, not the next perf session
 #
@@ -38,6 +48,13 @@ go test -race ./...
 
 echo "==> go test -race -count=2 (service subsystems)"
 go test -race -count=2 ./internal/jobs ./internal/registry ./internal/server
+
+echo "==> fuzz smoke (10s per target)"
+go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
+go test -run=NONE -fuzz='^FuzzDiscretize$' -fuzztime=10s ./internal/discretize
+
+echo "==> coverage summary (jobs, fpm)"
+go test -cover ./internal/jobs ./internal/fpm | awk '{print "    " $0}'
 
 echo "==> benchmark smoke (one iteration each)"
 go test -run=NONE -bench=. -benchtime=1x ./...
