@@ -34,6 +34,8 @@ func main() {
 		queueDepth   = flag.Int("queue", 64, "max queued jobs before submissions get HTTP 429")
 		datasetCache = flag.Int64("dataset-cache-bytes", server.DefaultDatasetCacheBytes,
 			"dataset registry budget in bytes (0 = unlimited)")
+		registryShards = flag.Int("registry-shards", registry.DefaultShards,
+			"lock stripes in the dataset registry (1 = single-lock store)")
 		resultCache = flag.Int("result-cache", 128, "result cache capacity in entries")
 		jobTimeout  = flag.Duration("job-timeout", 5*time.Minute, "per-job deadline (0 = none)")
 		maxBody     = flag.Int64("max-body-bytes", server.DefaultMaxBodyBytes,
@@ -47,7 +49,7 @@ func main() {
 	)
 	flag.Parse()
 
-	reg := registry.New(*datasetCache)
+	reg := registry.NewSharded(*datasetCache, *registryShards)
 	engine, err := jobs.New(jobs.Config{
 		Registry:           reg,
 		Workers:            *workers,

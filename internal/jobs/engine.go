@@ -46,20 +46,23 @@ type Config struct {
 
 // Stats is a point-in-time snapshot of the engine counters for /statsz.
 type Stats struct {
-	Workers     int        `json:"workers"`
-	Busy        int        `json:"busy"`
-	QueueLen    int        `json:"queue_len"`
-	QueueCap    int        `json:"queue_cap"`
-	Submitted   int64      `json:"submitted"`
-	Completed   int64      `json:"completed"`
-	Failed      int64      `json:"failed"`
-	Canceled    int64      `json:"canceled"`
-	Rejected    int64      `json:"rejected"`
+	Workers   int   `json:"workers"`
+	Busy      int   `json:"busy"`
+	QueueLen  int   `json:"queue_len"`
+	QueueCap  int   `json:"queue_cap"`
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
 	// Durable reports whether a job store is attached; Recovered counts
-	// jobs reconstructed from it at startup and StoreErrors counts
-	// best-effort write-through appends that failed.
+	// jobs reconstructed from it at startup, Rehydrated counts recovered
+	// jobs whose full result was re-mined on demand (Engine.Rehydrate),
+	// and StoreErrors counts best-effort write-through appends that
+	// failed.
 	Durable     bool       `json:"durable"`
 	Recovered   int64      `json:"recovered"`
+	Rehydrated  int64      `json:"rehydrated"`
 	StoreErrors int64      `json:"store_errors"`
 	ResultCache CacheStats `json:"result_cache"`
 }
@@ -88,14 +91,15 @@ type Engine struct {
 
 	store atomic.Pointer[Store]
 
-	busy      atomic.Int64
-	submitted atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	rejected  atomic.Int64
-	recovered atomic.Int64
-	storeErrs atomic.Int64
+	busy       atomic.Int64
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	rejected   atomic.Int64
+	recovered  atomic.Int64
+	rehydrated atomic.Int64
+	storeErrs  atomic.Int64
 }
 
 // New starts an engine with cfg.Workers workers. Call Shutdown to drain.
@@ -303,7 +307,10 @@ func (e *Engine) run(job *Job) {
 		job.summary = sum
 		job.cacheHit = cacheHit
 		e.completed.Add(1)
-		rec = Record{Type: RecDone, Job: job.id, Result: sum, CacheHit: cacheHit}
+		// The done record carries the spec too (schema v2): together with
+		// the summary it is a self-contained recipe for re-mining the full
+		// result after a restart, as long as the dataset is resident.
+		rec = Record{Type: RecDone, Job: job.id, Result: sum, CacheHit: cacheHit, Spec: &job.spec}
 	case errors.Is(err, context.Canceled) || (job.canceledByUser.Load() && ctx.Err() != nil):
 		job.state = StateCanceled
 		job.err = err
@@ -337,7 +344,10 @@ func (e *Engine) analyzeCached(ctx context.Context, spec Spec, tr *Tracker) (*co
 	}
 	entry, ok := e.reg.Get(spec.Dataset)
 	if !ok {
-		return nil, false, fmt.Errorf("%w: dataset %s not registered (or evicted)", ErrBadInput, spec.Dataset)
+		// Both sentinels apply: a submit referencing an unknown hash is bad
+		// input (HTTP 400), while the rehydration path matches on
+		// ErrDatasetGone to fall back to the durable summary.
+		return nil, false, fmt.Errorf("%w: %w: %s", ErrBadInput, ErrDatasetGone, spec.Dataset)
 	}
 	res, err := e.analyze(ctx, entry.Data, spec, tr)
 	if err != nil {
@@ -401,6 +411,7 @@ func (e *Engine) Stats() Stats {
 		Rejected:    e.rejected.Load(),
 		Durable:     e.store.Load() != nil,
 		Recovered:   e.recovered.Load(),
+		Rehydrated:  e.rehydrated.Load(),
 		StoreErrors: e.storeErrs.Load(),
 		ResultCache: e.cache.stats(),
 	}

@@ -46,9 +46,16 @@ var (
 	// than letting them vanish silently.
 	ErrInterrupted = errors.New("jobs: interrupted by engine restart")
 	// ErrNoResult is returned by Result for done jobs recovered from the
-	// store: the full in-memory result is gone, only the durable summary
+	// store: the full in-memory result is gone. Engine.Rehydrate re-mines
+	// it when the job's done record carries a spec (schema v2) and the
+	// dataset is still resident; otherwise only the durable summary
 	// (Job.Summary) survives a restart.
 	ErrNoResult = errors.New("jobs: full result not in memory (job recovered from store); use the summary")
+	// ErrDatasetGone marks an analysis or rehydration whose dataset is no
+	// longer resident in the registry (never registered, evicted, or lost
+	// to a restart). The server maps it to the degraded-summary fallback
+	// on the result endpoint.
+	ErrDatasetGone = errors.New("jobs: dataset not resident in the registry")
 )
 
 // State is a job lifecycle state.
@@ -134,6 +141,12 @@ type Job struct {
 	finished  time.Time
 	cancel    func() // non-nil only while running
 
+	// recompute, set during recovery from a v2 done record, is the spec
+	// to re-mine the full result from; rehydrateMu single-flights that
+	// re-mine so concurrent result fetches do not each run it.
+	recompute   *Spec
+	rehydrateMu sync.Mutex
+
 	partial       atomic.Pointer[Snapshot]
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
@@ -178,6 +191,16 @@ func (j *Job) Summary() *ResultSummary {
 // first one. For jobs recovered from the store this is the last
 // snapshot the previous process persisted.
 func (j *Job) Partial() *Snapshot { return j.partial.Load() }
+
+// Recomputable reports whether the job's full result can in principle be
+// re-mined after recovery: its done record carried a spec (schema v2).
+// Whether the re-mine succeeds still depends on the dataset being
+// resident when Engine.Rehydrate runs.
+func (j *Job) Recomputable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recompute != nil
+}
 
 // Recovered reports whether the job was reconstructed from the store by
 // Recover rather than run by this process.

@@ -1,9 +1,12 @@
 package jobs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Recover opens the job store rooted at dir, replays its log into the
@@ -11,8 +14,9 @@ import (
 // startup path of a durable server. After Recover:
 //
 //   - jobs whose log reached a terminal state are visible with their
-//     recorded outcome; done jobs carry the durable result summary (the
-//     full in-memory result does not survive a restart), and the last
+//     recorded outcome; done jobs carry the durable result summary and,
+//     when their done record was written in schema v2, the spec needed
+//     to re-mine the full result on demand (Rehydrate) — the last
 //     persisted partial snapshot, if any, is reattached;
 //   - jobs the previous process left queued or running are re-marked
 //     failed with ErrInterrupted — visible and explained, never
@@ -104,6 +108,9 @@ func applyRecord(j *Job, rec Record, rejected map[string]bool) {
 		j.summary = rec.Result
 		j.cacheHit = rec.CacheHit
 		j.finished = rec.Time
+		// Schema v2 done records carry the spec; v1 records leave it nil
+		// and the job folds to summary-only, the pre-v2 behavior.
+		j.recompute = rec.Spec
 	case RecFailed:
 		j.state = StateFailed
 		j.err = recordError(rec.Error)
@@ -115,6 +122,56 @@ func applyRecord(j *Job, rec Record, rejected map[string]bool) {
 	}
 	// Unknown record types (a newer format) are skipped: replay is
 	// forward-compatible with additive changes.
+}
+
+// Rehydrate re-mines the full result of a done job that was recovered
+// from the store — the lazy half of full-result durability. The done
+// record's spec (schema v2) names the dataset by content hash; if the
+// registry still holds it, the exploration re-runs through the shared
+// result cache and the result is pinned back onto the job, so the first
+// GET /jobs/{id}/result after a restart pays the mine and every later
+// one is free. Mining is deterministic (the parallel miner canonicalizes
+// and sorts its output), so the rehydrated result renders byte-identical
+// to the pre-crash response.
+//
+// Failure modes, in the order the server's fallback chain meets them:
+// a job that is not done fails outright; a v1-format job (no spec on the
+// done record) returns ErrNoResult; an evicted or never-re-registered
+// dataset returns ErrDatasetGone. In the latter two cases the durable
+// summary is still servable.
+func (e *Engine) Rehydrate(ctx context.Context, job *Job) (*core.Result, error) {
+	job.mu.Lock()
+	state := job.state
+	res := job.result
+	spec := job.recompute
+	job.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", job.id, state)
+	}
+	if res != nil {
+		return res, nil
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("%w: job %s has no recompute spec (v1 done record)", ErrNoResult, job.id)
+	}
+
+	job.rehydrateMu.Lock()
+	defer job.rehydrateMu.Unlock()
+	job.mu.Lock()
+	res = job.result
+	job.mu.Unlock()
+	if res != nil { // a concurrent fetch already re-mined it
+		return res, nil
+	}
+	res, _, err := e.analyzeCached(ctx, *spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.result = res
+	job.mu.Unlock()
+	e.rehydrated.Add(1)
+	return res, nil
 }
 
 // recordError rehydrates a persisted error string. The interrupted

@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// BenchmarkRegistryParallelGet measures Get throughput under concurrent
+// load for the single-lock layout versus the sharded one — the number
+// that motivated lock striping. Every Get takes its shard's mutex (LRU
+// refresh is a write), so with one shard all goroutines serialize on one
+// lock while sixteen stripes let them proceed mostly independently; the
+// gap widens with core count. SetParallelism(8) keeps at least eight
+// goroutines contending even on small CI machines. Wired into the
+// verify.sh benchmark-smoke tier like every other benchmark, so the
+// ratio lands in the perf trajectory on each run.
+func BenchmarkRegistryParallelGet(b *testing.B) {
+	const entries = 64
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := NewSharded(0, shards)
+			hashes := make([]Hash, entries)
+			for i := range hashes {
+				e, _, err := r.Register(uniqueCSV(i), dataset.CSVOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hashes[i] = e.Hash
+			}
+			var next atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Distinct starting offsets spread goroutines over the key
+				// space (and therefore over the shards).
+				i := int(next.Add(1)) * 7
+				for pb.Next() {
+					if _, ok := r.Get(hashes[i%entries]); !ok {
+						b.Error("resident entry missed")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkRegistryParallelMixed adds registration traffic (90% Get /
+// 10% Register of an already-resident dataset) — the dedup fast path
+// also takes the shard lock, so this is the contention profile of a
+// server whose clients re-upload data they already pinned.
+func BenchmarkRegistryParallelMixed(b *testing.B) {
+	const entries = 64
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := NewSharded(0, shards)
+			csvs := make([][]byte, entries)
+			hashes := make([]Hash, entries)
+			for i := range hashes {
+				csvs[i] = uniqueCSV(i)
+				e, _, err := r.Register(csvs[i], dataset.CSVOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hashes[i] = e.Hash
+			}
+			var next atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(next.Add(1)) * 7
+				for pb.Next() {
+					if i%10 == 0 {
+						if _, _, err := r.Register(csvs[i%entries], dataset.CSVOptions{}); err != nil {
+							b.Error(err)
+						}
+					} else {
+						r.Get(hashes[i%entries])
+					}
+					i++
+				}
+			})
+		})
+	}
+}

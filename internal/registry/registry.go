@@ -8,18 +8,30 @@
 // The registry is the "mine once, serve many" seam of the service: jobs
 // reference datasets by hash, repeated uploads of the same CSV are free,
 // and the result cache in package jobs keys on the same hash.
+//
+// Internally the store is lock-striped into shards (see shard.go): a
+// key's shard is fixed by a hash of its content address, each shard has
+// its own mutex, LRU list and counters, and the byte budget is global —
+// an insert that pushes total residency over budget evicts the globally
+// least-recently-used entries regardless of which shard holds them, so
+// the observable contents match a single-shard store exactly while
+// unrelated Get/Register traffic no longer serializes on one lock.
 package registry
 
 import (
 	"bytes"
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
+
+// DefaultShards is the shard count used by New. Sixteen stripes keep
+// lock hold times short at high request concurrency without measurable
+// overhead at low concurrency; NewSharded overrides it.
+const DefaultShards = 16
 
 // Hash is the content address of a dataset: the lower-case hex SHA-256
 // of its canonicalized CSV bytes.
@@ -53,43 +65,94 @@ func Canonicalize(csv []byte) []byte {
 	return out
 }
 
-// Entry is one registered dataset.
+// Entry is one registered dataset. Entries are immutable once created:
+// eviction only drops the registry's reference, so an Entry held by a
+// running job stays valid after eviction.
 type Entry struct {
 	Hash  Hash
 	Data  *dataset.Dataset
 	Bytes int64 // estimated resident size, charged against the budget
 }
 
-// Stats is a point-in-time snapshot of the registry counters.
-type Stats struct {
+// ShardStats is the per-shard slice of the registry counters.
+type ShardStats struct {
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
-	Budget    int64 `json:"budget_bytes"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
 
-// Registry is a byte-budgeted, content-addressed LRU store of parsed
-// datasets. All methods are safe for concurrent use.
-type Registry struct {
-	mu        sync.Mutex
-	budget    int64 // <= 0 means unlimited
-	size      int64
-	ll        *list.List // front = most recently used; values are *Entry
-	entries   map[Hash]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+// Stats is a point-in-time snapshot of the registry counters. The
+// top-level counters aggregate across shards; Shards carries the
+// per-shard breakdown for /statsz.
+type Stats struct {
+	Entries   int          `json:"entries"`
+	Bytes     int64        `json:"bytes"`
+	Budget    int64        `json:"budget_bytes"`
+	Hits      int64        `json:"hits"`
+	Misses    int64        `json:"misses"`
+	Evictions int64        `json:"evictions"`
+	Shards    []ShardStats `json:"shards,omitempty"`
 }
 
-// New returns a registry bounded by budgetBytes (<= 0 for unlimited).
+// Registry is a byte-budgeted, content-addressed, lock-striped LRU store
+// of parsed datasets. All methods are safe for concurrent use.
+type Registry struct {
+	budget int64 // <= 0 means unlimited
+	shards []*shard
+	size   atomic.Int64 // total resident bytes across shards
+	clock  atomic.Int64 // global recency stamp source (see shard.go)
+}
+
+// New returns a registry bounded by budgetBytes (<= 0 for unlimited)
+// with DefaultShards lock stripes.
 func New(budgetBytes int64) *Registry {
-	return &Registry{
-		budget:  budgetBytes,
-		ll:      list.New(),
-		entries: make(map[Hash]*list.Element),
+	return NewSharded(budgetBytes, DefaultShards)
+}
+
+// NewSharded returns a registry bounded by budgetBytes (<= 0 for
+// unlimited) striped into shards locks (values < 1 are clamped to 1,
+// which reproduces the original single-lock store).
+func NewSharded(budgetBytes int64, shards int) *Registry {
+	if shards < 1 {
+		shards = 1
 	}
+	r := &Registry{budget: budgetBytes, shards: make([]*shard, shards)}
+	for i := range r.shards {
+		r.shards[i] = newShard()
+	}
+	return r
+}
+
+// NumShards returns the number of lock stripes.
+func (r *Registry) NumShards() int { return len(r.shards) }
+
+// shardFor maps a content address onto its stripe with FNV-1a, inlined
+// (hash/fnv's New32a allocates per call, which would dominate the Get
+// fast path). The key is already a SHA-256 hex string, but re-hashing
+// keeps the mapping well distributed for arbitrary Hash values too
+// (tests use short fakes).
+func (r *Registry) shardFor(h Hash) *shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	// 16 hex chars = 64 bits of the underlying SHA-256 — ample stripe
+	// entropy; hashing the full 64-char key would triple Get's cost.
+	n := len(h)
+	if n > 16 {
+		n = 16
+	}
+	x := uint32(offset32)
+	for i := 0; i < n; i++ {
+		x ^= uint32(h[i])
+		x *= prime32
+	}
+	return r.shards[x%uint32(len(r.shards))]
 }
 
 // Register stores the dataset parsed from csv under its content address.
@@ -98,85 +161,120 @@ func New(budgetBytes int64) *Registry {
 // the counters record. A parse failure stores nothing.
 func (r *Registry) Register(csv []byte, opts dataset.CSVOptions) (*Entry, bool, error) {
 	h := HashBytes(csv)
-	r.mu.Lock()
-	if el, ok := r.entries[h]; ok {
-		r.ll.MoveToFront(el)
-		r.hits++
-		e := el.Value.(*Entry)
-		r.mu.Unlock()
+	sh := r.shardFor(h)
+	if e, ok := sh.get(h, r.clock.Add(1)); ok {
 		return e, true, nil
 	}
-	r.mu.Unlock()
 
 	// Parse outside the lock: CSV parsing dominates registration cost and
 	// must not serialize unrelated requests. A concurrent duplicate upload
 	// may parse twice; the second insert below discards its copy.
 	data, err := dataset.ReadCSV(bytes.NewReader(csv), opts)
 	if err != nil {
-		r.mu.Lock()
-		r.misses++
-		r.mu.Unlock()
+		sh.miss()
 		return nil, false, fmt.Errorf("registry: parsing CSV: %w", err)
 	}
 	e := &Entry{Hash: h, Data: data, Bytes: datasetBytes(data)}
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if el, ok := r.entries[h]; ok { // lost the race to an identical upload
-		r.ll.MoveToFront(el)
-		r.hits++
-		return el.Value.(*Entry), true, nil
+	e, existed := sh.put(e, r.clock.Add(1))
+	if !existed {
+		r.size.Add(e.Bytes)
+		r.enforceBudget(h)
 	}
-	r.misses++
-	r.entries[h] = r.ll.PushFront(e)
-	r.size += e.Bytes
-	r.evictLocked()
-	return e, false, nil
+	return e, existed, nil
 }
 
-// Get looks up a dataset by hash, refreshing its LRU position.
+// Get looks up a dataset by hash, refreshing its LRU recency.
 func (r *Registry) Get(h Hash) (*Entry, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	el, ok := r.entries[h]
-	if !ok {
-		r.misses++
-		return nil, false
+	sh := r.shardFor(h)
+	if e, ok := sh.get(h, r.clock.Add(1)); ok {
+		return e, true
 	}
-	r.hits++
-	r.ll.MoveToFront(el)
-	return el.Value.(*Entry), true
+	sh.miss()
+	return nil, false
 }
 
-// evictLocked drops least-recently-used entries until the budget is met.
-// The most recent entry is never evicted, so a single dataset larger than
-// the whole budget is still usable (and evicts everything else).
-func (r *Registry) evictLocked() {
+// Remove drops the entry for h, reporting whether it was resident.
+// Explicit removal is a delete, not an eviction: it does not move the
+// hit/miss/eviction counters.
+func (r *Registry) Remove(h Hash) bool {
+	freed, ok := r.shardFor(h).remove(h)
+	if ok {
+		r.size.Add(-freed)
+	}
+	return ok
+}
+
+// enforceBudget evicts globally least-recently-used entries until total
+// residency fits the budget, sparing justAdded (the entry whose insert
+// triggered enforcement) so a single dataset larger than the whole
+// budget is still usable — it evicts everything else instead, exactly as
+// the single-lock store did. Shard locks are only ever taken one at a
+// time, so enforcement cannot deadlock against Register/Get traffic; the
+// per-pass rescan makes cross-shard eviction an approximation of global
+// LRU under concurrent touches and exact under sequential operation.
+func (r *Registry) enforceBudget(justAdded Hash) {
 	if r.budget <= 0 {
 		return
 	}
-	for r.size > r.budget && r.ll.Len() > 1 {
-		el := r.ll.Back()
-		e := el.Value.(*Entry)
-		r.ll.Remove(el)
-		delete(r.entries, e.Hash)
-		r.size -= e.Bytes
-		r.evictions++
+	for r.size.Load() > r.budget {
+		if !r.evictGlobalLRU(justAdded) {
+			return
+		}
 	}
 }
 
-// Stats returns a snapshot of the counters.
-func (r *Registry) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return Stats{
-		Entries:   r.ll.Len(),
-		Bytes:     r.size,
-		Budget:    r.budget,
-		Hits:      r.hits,
-		Misses:    r.misses,
-		Evictions: r.evictions,
+// evictGlobalLRU removes the resident entry with the oldest recency
+// stamp, skipping spare. It reports false when nothing is evictable —
+// spare is the only entry left — which ends budget enforcement.
+func (r *Registry) evictGlobalLRU(spare Hash) bool {
+	for {
+		victim, entries := r.oldestShard(spare)
+		if victim == nil || entries <= 1 {
+			return false
+		}
+		freed, evicted := victim.evictOldest(spare)
+		if evicted {
+			r.size.Add(-freed)
+			return true
+		}
+		// The scanned tail moved (a concurrent touch or removal): rescan.
+		// Progress is guaranteed — either some pass evicts, or the store
+		// drains to a single entry and oldestShard returns nil.
 	}
+}
+
+// oldestShard scans all stripes for the one whose LRU tail carries the
+// globally oldest recency stamp, ignoring spare, and counts resident
+// entries along the way. Each shard is locked only for its own scan.
+func (r *Registry) oldestShard(spare Hash) (*shard, int) {
+	var victim *shard
+	oldest := int64(0)
+	entries := 0
+	for _, sh := range r.shards {
+		n, stamp, ok := sh.oldest(spare)
+		entries += n
+		if ok && (victim == nil || stamp < oldest) {
+			victim = sh
+			oldest = stamp
+		}
+	}
+	return victim, entries
+}
+
+// Stats returns a snapshot of the counters, aggregated and per shard.
+func (r *Registry) Stats() Stats {
+	s := Stats{Budget: r.budget, Shards: make([]ShardStats, len(r.shards))}
+	for i, sh := range r.shards {
+		ss := sh.stats()
+		s.Shards[i] = ss
+		s.Entries += ss.Entries
+		s.Bytes += ss.Bytes
+		s.Hits += ss.Hits
+		s.Misses += ss.Misses
+		s.Evictions += ss.Evictions
+	}
+	return s
 }
 
 // datasetBytes estimates the resident size of a parsed dataset: 4 bytes

@@ -1,0 +1,149 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+)
+
+// shard is one lock stripe of the registry: its own mutex, LRU list,
+// hash index and counters. Shards know nothing of the global budget —
+// Registry.enforceBudget drives cross-shard eviction through oldest and
+// evictOldest, locking one shard at a time.
+type shard struct {
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used within this shard
+	entries   map[Hash]*list.Element
+	size      int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// shardEntry is one resident dataset plus its global recency stamp. The
+// stamp comes from the registry-wide clock and is refreshed on every
+// touch, so comparing the tail stamps of all shards identifies the
+// globally least-recently-used entry even though each shard orders only
+// its own list.
+type shardEntry struct {
+	e     *Entry
+	stamp int64
+}
+
+func newShard() *shard {
+	return &shard{ll: list.New(), entries: make(map[Hash]*list.Element)}
+}
+
+// get looks up h, refreshing its recency with stamp on a hit. A miss
+// moves no counter — Registry.Get and Register decide whether a miss is
+// chargeable (a failed parse during Register is, a pre-parse probe is
+// not), via miss.
+func (s *shard) get(h Hash, stamp int64) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[h]
+	if !ok {
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	se := el.Value.(*shardEntry)
+	se.stamp = stamp
+	return se.e, true
+}
+
+// miss charges one miss to the shard's counters.
+func (s *shard) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// put inserts e with the given recency stamp, charging a miss. When the
+// hash is already resident — a concurrent identical Register won the
+// race — the incumbent is refreshed and returned with existed == true
+// and a hit is charged instead; the caller discards its parse.
+func (s *shard) put(e *Entry, stamp int64) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Hash]; ok {
+		s.hits++
+		s.ll.MoveToFront(el)
+		se := el.Value.(*shardEntry)
+		se.stamp = stamp
+		return se.e, true
+	}
+	s.misses++
+	s.entries[e.Hash] = s.ll.PushFront(&shardEntry{e: e, stamp: stamp})
+	s.size += e.Bytes
+	return e, false
+}
+
+// remove drops h, returning the bytes freed.
+func (s *shard) remove(h Hash) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[h]
+	if !ok {
+		return 0, false
+	}
+	se := el.Value.(*shardEntry)
+	s.ll.Remove(el)
+	delete(s.entries, h)
+	s.size -= se.e.Bytes
+	return se.e.Bytes, true
+}
+
+// oldest reports the shard's entry count and the recency stamp of its
+// LRU tail. A tail equal to spare is not a candidate (ok == false): the
+// entry whose insert triggered enforcement is never the victim.
+func (s *shard) oldest(spare Hash) (entries int, stamp int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries = s.ll.Len()
+	el := s.ll.Back()
+	if el == nil {
+		return entries, 0, false
+	}
+	se := el.Value.(*shardEntry)
+	if se.e.Hash == spare {
+		return entries, 0, false
+	}
+	return entries, se.stamp, true
+}
+
+// evictOldest removes the shard's LRU tail unless it is spare, returning
+// the bytes freed. When the tail is spare but older entries sit above it
+// (possible only under concurrent touches), the entry just ahead of the
+// tail is evicted instead so enforcement still progresses.
+func (s *shard) evictOldest(spare Hash) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.ll.Back()
+	if el == nil {
+		return 0, false
+	}
+	if el.Value.(*shardEntry).e.Hash == spare {
+		if el = el.Prev(); el == nil {
+			return 0, false
+		}
+	}
+	se := el.Value.(*shardEntry)
+	s.ll.Remove(el)
+	delete(s.entries, se.e.Hash)
+	s.size -= se.e.Bytes
+	s.evictions++
+	return se.e.Bytes, true
+}
+
+// stats snapshots the shard counters.
+func (s *shard) stats() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStats{
+		Entries:   s.ll.Len(),
+		Bytes:     s.size,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}

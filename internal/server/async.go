@@ -117,6 +117,19 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDatasetDelete implements DELETE /datasets/{hash}: drop a pinned
+// dataset from the registry. Jobs already holding the parsed entry keep
+// working (entries are immutable); new submissions for the hash get 404
+// and recovered jobs referencing it degrade to their durable summary.
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	h := registry.Hash(r.PathValue("hash"))
+	if !s.reg.Remove(h) {
+		writeError(w, http.StatusNotFound, "dataset "+string(h)+" not registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": string(h)})
+}
+
 // handleJobSubmit implements POST /jobs: submit by registered dataset
 // hash (?dataset=...) or by inline CSV body. A full queue answers 429 —
 // the explicit backpressure contract — rather than blocking the client.
@@ -192,14 +205,23 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	res, err := job.Result()
 	switch {
 	case errors.Is(err, jobs.ErrNoResult):
-		// The job was recovered from the store: the full in-memory result
-		// did not survive the restart, but its durable summary did.
-		if sum := job.Summary(); sum != nil {
-			writeJSON(w, http.StatusOK, sum)
+		// The job was recovered from the store, so the full in-memory
+		// result did not survive the restart. Fallback chain: re-mine the
+		// full result from the re-pinned dataset, then the durable summary
+		// marked degraded, then 410 Gone.
+		res, err = s.engine.Rehydrate(r.Context(), job)
+		if err != nil {
+			if sum := job.Summary(); sum != nil {
+				writeJSON(w, http.StatusOK, degradedResultJSON{
+					Degraded:      true,
+					Reason:        err.Error(),
+					ResultSummary: sum,
+				})
+				return
+			}
+			writeError(w, http.StatusGone, err.Error())
 			return
 		}
-		writeError(w, http.StatusGone, err.Error())
-		return
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -210,6 +232,17 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.render(w, res, req)
+}
+
+// degradedResultJSON is the summary-only fallback served from the result
+// endpoint when a recovered job's full result cannot be re-mined (v1 log
+// format, or the dataset is no longer resident). The summary fields are
+// inlined; the explicit degraded marker tells clients they are looking
+// at the durable digest, not the full per-itemset payload.
+type degradedResultJSON struct {
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"degraded_reason,omitempty"`
+	*jobs.ResultSummary
 }
 
 // renderRequest rebuilds rendering parameters from a job spec. Metric

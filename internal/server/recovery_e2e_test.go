@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+// degradedJSON mirrors the degraded-result payload for decoding.
+type degradedJSON struct {
+	Degraded bool                 `json:"degraded"`
+	Reason   string               `json:"degraded_reason"`
+	Rows     int                  `json:"rows"`
+	Metrics  []jobs.MetricSummary `json:"metrics"`
+}
+
+// durableServer builds a server whose engine recovers (and then writes
+// through to) the job store rooted at dir — the wiring of
+// divexplorer-server -store-dir. It returns the handler and the number
+// of jobs recovered.
+func durableServer(t *testing.T, dir string, reg *registry.Registry) (http.Handler, int) {
+	t.Helper()
+	engine, err := jobs.New(jobs.Config{Registry: reg, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := engine.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Registry: reg, Engine: engine})
+	return s.Handler(), n
+}
+
+// snapshotWAL copies the live store log into a fresh directory — the
+// crash simulation. Terminal records are fsynced before the client hears
+// about them, so a copy taken while the first server is still running is
+// exactly the disk state a crash would leave behind.
+func snapshotWAL(t *testing.T, src string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(src, jobs.WALName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dst, jobs.WALName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestRestartServesFullResult is the acceptance scenario for full-result
+// durability, end to end over HTTP: submit a job, crash (copy the WAL
+// out from under the server), restart with the dataset re-registered,
+// and GET /jobs/{id}/result — the response must be byte-identical to the
+// pre-crash one, with /statsz accounting for exactly one rehydration.
+func TestRestartServesFullResult(t *testing.T) {
+	dir := t.TempDir()
+	h1, n := durableServer(t, dir, registry.New(0))
+	if n != 0 {
+		t.Fatalf("fresh store recovered %d jobs", n)
+	}
+
+	w := do(t, h1, http.MethodPost, "/datasets", sampleCSV)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /datasets = %d: %s", w.Code, w.Body.String())
+	}
+	hash := decode[datasetJSON](t, w).Hash
+
+	w = do(t, h1, http.MethodPost, "/jobs?dataset="+hash+"&support=0.05&metric=FPR,FNR&eps=0.01&alpha=0.1", "")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d: %s", w.Code, w.Body.String())
+	}
+	id := decode[jobJSON](t, w).ID
+	if st := pollJob(t, h1, id); st.State != "done" {
+		t.Fatalf("job: %+v", st)
+	}
+	w = do(t, h1, http.MethodGet, "/jobs/"+id+"/result", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("pre-crash GET result = %d: %s", w.Code, w.Body.String())
+	}
+	before := append([]byte(nil), w.Body.Bytes()...)
+
+	// Crash: the new process sees only what hit the disk.
+	dir2 := snapshotWAL(t, dir)
+
+	// The restarted server's registry is fresh; the client re-uploads the
+	// dataset (same canonical bytes → same content hash).
+	reg2 := registry.New(0)
+	h2, n := durableServer(t, dir2, reg2)
+	if n != 1 {
+		t.Fatalf("recovered %d jobs, want 1", n)
+	}
+	w = do(t, h2, http.MethodPost, "/datasets", sampleCSV)
+	if got := decode[datasetJSON](t, w).Hash; got != hash {
+		t.Fatalf("re-uploaded dataset hashed to %s, want %s", got, hash)
+	}
+
+	w = do(t, h2, http.MethodGet, "/jobs/"+id, "")
+	if st := decode[jobJSON](t, w); st.State != "done" || !st.Recovered || st.ResultURL == "" {
+		t.Fatalf("recovered job status = %+v, want done+recovered with a result URL", st)
+	}
+
+	w = do(t, h2, http.MethodGet, "/jobs/"+id+"/result", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-restart GET result = %d: %s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), before) {
+		t.Errorf("post-restart result differs from the pre-crash bytes:\npre:  %s\npost: %s",
+			before, w.Body.Bytes())
+	}
+	if decode[degradedJSON](t, w).Degraded {
+		t.Error("full rehydrated result carries a degraded marker")
+	}
+
+	// A second fetch serves the pinned result; the rehydration count stays 1.
+	w = do(t, h2, http.MethodGet, "/jobs/"+id+"/result", "")
+	if !bytes.Equal(w.Body.Bytes(), before) {
+		t.Error("second post-restart fetch differs")
+	}
+	stats := decode[statszJSON](t, do(t, h2, http.MethodGet, "/statsz", ""))
+	if stats.Jobs.Rehydrated != 1 {
+		t.Errorf("statsz jobs.rehydrated = %d, want 1", stats.Jobs.Rehydrated)
+	}
+}
+
+// TestRestartWithoutDatasetDegradesExplicitly covers the other arm of
+// the fallback chain: the dataset did not survive the restart and nobody
+// re-uploaded it, so the result endpoint serves the durable summary with
+// an explicit degraded marker instead of failing.
+func TestRestartWithoutDatasetDegradesExplicitly(t *testing.T) {
+	dir := t.TempDir()
+	h1, _ := durableServer(t, dir, registry.New(0))
+	w := do(t, h1, http.MethodPost, "/jobs?support=0.05&metric=FPR", sampleCSV)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d: %s", w.Code, w.Body.String())
+	}
+	id := decode[jobJSON](t, w).ID
+	if st := pollJob(t, h1, id); st.State != "done" {
+		t.Fatalf("job: %+v", st)
+	}
+	dir2 := snapshotWAL(t, dir)
+
+	h2, _ := durableServer(t, dir2, registry.New(0))
+	w = do(t, h2, http.MethodGet, "/jobs/"+id+"/result", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded GET result = %d, want 200: %s", w.Code, w.Body.String())
+	}
+	deg := decode[degradedJSON](t, w)
+	if !deg.Degraded || deg.Reason == "" {
+		t.Errorf("degraded payload = %+v, want an explicit marker with a reason", deg)
+	}
+	if deg.Rows != 14 || len(deg.Metrics) != 1 {
+		t.Errorf("degraded payload lost the summary: %+v", deg)
+	}
+	stats := decode[statszJSON](t, do(t, h2, http.MethodGet, "/statsz", ""))
+	if stats.Jobs.Rehydrated != 0 {
+		t.Errorf("statsz jobs.rehydrated = %d for a degraded serve, want 0", stats.Jobs.Rehydrated)
+	}
+}
+
+// TestDatasetDelete exercises DELETE /datasets/{hash} and its interaction
+// with job submission.
+func TestDatasetDelete(t *testing.T) {
+	h := newTestServer(t, Options{}).Handler()
+	w := do(t, h, http.MethodPost, "/datasets", sampleCSV)
+	hash := decode[datasetJSON](t, w).Hash
+
+	w = do(t, h, http.MethodDelete, "/datasets/"+hash, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("DELETE /datasets = %d: %s", w.Code, w.Body.String())
+	}
+	if got := decode[map[string]string](t, w)["deleted"]; got != hash {
+		t.Errorf("delete response = %q, want the hash", got)
+	}
+	if w := do(t, h, http.MethodGet, "/datasets/"+hash, ""); w.Code != http.StatusNotFound {
+		t.Errorf("GET after delete = %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodDelete, "/datasets/"+hash, ""); w.Code != http.StatusNotFound {
+		t.Errorf("double delete = %d, want 404", w.Code)
+	}
+	// Submitting by the deleted hash now 404s; inline upload re-registers.
+	if w := do(t, h, http.MethodPost, "/jobs?dataset="+hash, ""); w.Code != http.StatusNotFound {
+		t.Errorf("submit by deleted hash = %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodPost, "/jobs", sampleCSV); w.Code != http.StatusAccepted {
+		t.Errorf("inline resubmit = %d, want 202", w.Code)
+	}
+}

@@ -13,6 +13,7 @@
 //	POST   /analyze        synchronous analysis; body: the CSV
 //	POST   /datasets       register a dataset, returns its content hash
 //	GET    /datasets/{hash} dataset metadata
+//	DELETE /datasets/{hash} drop a dataset from the registry
 //	POST   /jobs           submit an analysis job (inline CSV body, or
 //	                       ?dataset=<hash> for a registered dataset)
 //	GET    /jobs/{id}        job status and progress
@@ -25,8 +26,12 @@
 //
 // With a job store attached (divexplorer-server -store-dir) every job
 // lifecycle transition is written through to disk and replayed on boot,
-// so completed results outlive a restart; jobs recovered that way are
-// marked "recovered" and serve their durable summary from /result.
+// so completed results outlive a restart. For a recovered job, /result
+// walks a fallback chain: the full result is lazily re-mined from the
+// dataset registry when the dataset is still resident (byte-identical to
+// the pre-restart response), otherwise the durable summary is served
+// with an explicit "degraded": true marker, and 410 Gone only when not
+// even the summary survived.
 //
 // Query parameters shared by /analyze and /jobs:
 //
@@ -124,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /datasets", s.handleDatasetRegister)
 	mux.HandleFunc("GET /datasets/{hash}", s.handleDatasetGet)
+	mux.HandleFunc("DELETE /datasets/{hash}", s.handleDatasetDelete)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)

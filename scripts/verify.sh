@@ -11,11 +11,14 @@
 #   4. go test -race ./...         all tests under the race detector;
 #                                  the Parallel-vs-FPGrowth stress test
 #                                  is this tier's primary target
-#   5. go test -race -count=2 …    the concurrent service subsystems
-#                                  (jobs, registry, server) twice more:
-#                                  submit/cancel/shutdown interleavings
-#                                  are timing-sensitive, so extra runs
-#                                  buy extra schedules
+#   5. registry-race tier          the concurrent service subsystems
+#                                  (registry, jobs, server) twice more
+#                                  under -race: the sharded-registry
+#                                  property tests, rehydration
+#                                  single-flight and submit/cancel/
+#                                  shutdown interleavings are
+#                                  timing-sensitive, so extra runs buy
+#                                  extra schedules
 #   6. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
@@ -46,8 +49,8 @@ go run ./cmd/divlint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -race -count=2 (service subsystems)"
-go test -race -count=2 ./internal/jobs ./internal/registry ./internal/server
+echo "==> registry-race tier (sharded registry + durable jobs, -count=2)"
+go test -race -count=2 ./internal/registry/... ./internal/jobs/... ./internal/server/...
 
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
