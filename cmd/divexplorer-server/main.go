@@ -6,9 +6,15 @@
 // With -store-dir the job engine is durable: every lifecycle transition
 // is written ahead to a JSON-lines log in that directory, replayed on
 // the next boot, and streamed as partial-result snapshots while mining.
+// With -spill-dir the dataset registry gains a disk tier: datasets
+// evicted by the memory budget are written to checksummed spill files
+// and reloaded (verified against their content hash) on the next use,
+// so a restart plus -store-dir serves full pre-crash results without
+// re-uploads.
 //
 //	divexplorer-server -addr :8080 -workers 4 -job-timeout 5m
 //	divexplorer-server -store-dir /var/lib/divexplorer -snapshot-every 2s
+//	divexplorer-server -store-dir /var/lib/divexplorer -spill-dir /var/lib/divexplorer/spill -spill-budget-bytes 1073741824
 //	curl --data-binary @data.csv 'http://localhost:8080/analyze?truth=label&pred=predicted&format=html'
 package main
 
@@ -46,10 +52,27 @@ func main() {
 			"directory for the durable job store; empty disables persistence")
 		snapshotEvery = flag.Duration("snapshot-every", 2*time.Second,
 			"min interval between persisted partial-result snapshots (0 = every update)")
+		spillDir = flag.String("spill-dir", "",
+			"directory for the dataset disk-spill tier; empty evicts to nowhere (datasets are lost on eviction)")
+		spillBudget = flag.Int64("spill-budget-bytes", 0,
+			"disk byte budget for spilled datasets (0 = unlimited); oldest spill files are evicted first")
 	)
 	flag.Parse()
 
 	reg := registry.NewSharded(*datasetCache, *registryShards)
+	if *spillDir != "" {
+		// Attach the disk tier before any traffic: in-memory eviction then
+		// spills the dataset to a checksummed file instead of dropping it,
+		// and registry misses fall through to a verified disk load.
+		sp, err := registry.OpenSpill(*spillDir, *spillBudget, nil)
+		if err != nil {
+			log.Fatalf("opening spill dir %s: %v", *spillDir, err)
+		}
+		reg.AttachSpill(sp, server.CSVOptions())
+		st := sp.Stats()
+		log.Printf("dataset spill tier %s attached (%d files, %d bytes resident)",
+			*spillDir, st.Files, st.Bytes)
+	}
 	engine, err := jobs.New(jobs.Config{
 		Registry:           reg,
 		Workers:            *workers,

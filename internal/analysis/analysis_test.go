@@ -69,6 +69,7 @@ func TestFixtureDiagnostics(t *testing.T) {
 		{"maporder", true},
 		{"internal/libprint", true},
 		{"goleak", true},
+		{"errwrap", true},
 		{"suppress", true},
 		{"clean", false},
 	}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrWrap enforces the error-identity convention on exported APIs: an
+// error constructed inside an exported function (or method on an
+// exported type), and every exported Err* sentinel, must start its
+// message with the package name — `fmt.Errorf("registry: ...: %w", err)`
+// — so a failure that crosses a package boundary still says where it
+// came from. Formats that open with a verb ("%w: ...") are exempt: the
+// wrapped error supplies the identity. Unexported helpers are exempt
+// too — their errors are wrapped (and prefixed) by the exported entry
+// points that call them — as is package main, whose errors reach a log
+// line rather than another package.
+type ErrWrap struct{}
+
+// Name implements Analyzer.
+func (ErrWrap) Name() string { return "errwrap" }
+
+// Doc implements Analyzer.
+func (ErrWrap) Doc() string {
+	return "flags errors.New/fmt.Errorf messages in exported APIs (and exported Err* sentinels) that do not " +
+		"start with the package-name prefix; formats opening with a verb and package main are exempt"
+}
+
+// Run implements Analyzer.
+func (w ErrWrap) Run(pass *Pass) {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return
+	}
+	prefix := pass.Pkg.Name() + ": "
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				w.checkSentinels(pass, d, prefix)
+			case *ast.FuncDecl:
+				if d.Body == nil || !exportedAPI(d) {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if lit, bad := unprefixedErrorText(pass, call, prefix); bad {
+						pass.Reportf(lit.Pos(), "error text in exported %s does not start with %q; "+
+							"prefix messages with the package name so cross-package failures stay attributable",
+							d.Name.Name, prefix)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// checkSentinels reports exported package-level Err* variables whose
+// message lacks the package prefix. Sentinels are matched by name, not
+// type: the convention is about what callers will see in logs.
+func (ErrWrap) checkSentinels(pass *Pass, d *ast.GenDecl, prefix string) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			return // import or type decl; no other spec kinds follow
+		}
+		for i, name := range vs.Names {
+			if !name.IsExported() || !strings.HasPrefix(name.Name, "Err") || i >= len(vs.Values) {
+				continue
+			}
+			call, ok := unparen(vs.Values[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if lit, bad := unprefixedErrorText(pass, call, prefix); bad {
+				pass.Reportf(lit.Pos(), "sentinel %s does not start with %q; "+
+					"prefix messages with the package name so cross-package failures stay attributable",
+					name.Name, prefix)
+			}
+		}
+	}
+}
+
+// unprefixedErrorText reports whether call constructs an error via
+// errors.New or fmt.Errorf from a string literal that neither starts
+// with the package prefix nor opens with a format verb.
+func unprefixedErrorText(pass *Pass, call *ast.CallExpr, prefix string) (*ast.BasicLit, bool) {
+	pkg, name, ok := pkgLevelCallee(pass, call)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	if !(pkg == "errors" && name == "New") && !(pkg == "fmt" && name == "Errorf") {
+		return nil, false
+	}
+	lit, ok := unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return nil, false // dynamic format; identity is the caller's problem
+	}
+	text, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil, false
+	}
+	if strings.HasPrefix(text, prefix) || strings.HasPrefix(text, "%") {
+		return nil, false
+	}
+	return lit, true
+}
+
+// exportedAPI reports whether d is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(d *ast.FuncDecl) bool {
+	if !d.Name.IsExported() {
+		return false
+	}
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	base := receiverBase(d.Recv.List[0].Type)
+	return base != nil && base.IsExported()
+}
+
+// receiverBase digs the receiver's base type identifier out of pointer
+// and type-parameter wrappers.
+func receiverBase(t ast.Expr) *ast.Ident {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.IndexExpr:
+			t = e.X
+		case *ast.IndexListExpr:
+			t = e.X
+		case *ast.ParenExpr:
+			t = e.X
+		case *ast.Ident:
+			return e
+		default:
+			return nil
+		}
+	}
+}

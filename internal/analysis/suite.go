@@ -11,6 +11,7 @@ func DefaultAnalyzers() []Analyzer {
 		MapOrder{},
 		LibPrint{},
 		GoLeak{},
+		ErrWrap{},
 	}
 }
 

@@ -1,0 +1,60 @@
+// Package errwrap exercises the errwrap analyzer: errors built inside
+// exported functions, exported methods on exported types, and exported
+// Err* sentinels must start with the "errwrap: " package prefix;
+// verb-led formats, unexported helpers, and unexported receivers pass.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is flagged: an exported sentinel without the package prefix.
+var ErrBad = errors.New("something went wrong")
+
+// ErrGood carries the prefix and passes.
+var ErrGood = errors.New("errwrap: resource exhausted")
+
+// errInternal is unexported, so its spelling is its own business.
+var errInternal = errors.New("internal bookkeeping")
+
+// Exported is flagged twice: both constructors lack the prefix.
+func Exported(x int) error {
+	if x < 0 {
+		return errors.New("negative input")
+	}
+	return fmt.Errorf("bad value %d", x)
+}
+
+// ExportedOK shows the accepted spellings: prefixed text, a verb-led
+// format (the wrapped error supplies identity), and a dynamic format.
+func ExportedOK(x int, cause error, format string) error {
+	if x == 0 {
+		return errors.New("errwrap: zero input")
+	}
+	if x < 0 {
+		return fmt.Errorf("%w: value %d", cause, x)
+	}
+	return fmt.Errorf(format, x)
+}
+
+// helper is unexported: its callers wrap and prefix.
+func helper() error { return errors.New("raw detail") }
+
+// T is an exported receiver type.
+type T struct{}
+
+// Check is flagged: exported method on an exported type.
+func (*T) Check() error { return errors.New("check failed") }
+
+// u is unexported, so its exported-looking methods are not API.
+type u struct{}
+
+// Check passes: the receiver type is unexported.
+func (u) Check() error { return errors.New("not api") }
+
+// Suppressed shows the escape hatch for intentional bare messages.
+func Suppressed() error {
+	// lint:ignore errwrap message intentionally bare for wire compatibility
+	return errors.New("legacy spelling")
+}

@@ -1,0 +1,111 @@
+// Package faultfs is the filesystem seam for every piece of durable
+// state in this repository: the dataset registry's disk-spill tier and
+// the job engine's write-ahead log perform all file I/O through the FS
+// interface instead of calling package os directly. In production the
+// seam is a zero-cost passthrough (OS); in tests it is an Injector — a
+// deterministic, seedable fault layer that can return ENOSPC, EIO,
+// short writes, or added latency at exactly the Nth matching operation,
+// so crash-safety claims ("no ack without a durable record", "a failed
+// spill never loses the in-memory copy") are proved against real
+// failures instead of asserted in comments.
+//
+// The package also fixes the retry policy for the whole repository:
+// Transient classifies an I/O error as worth retrying (EINTR, EAGAIN,
+// ETIMEDOUT), and Retry runs an operation with bounded exponential
+// backoff, failing fast and loudly on the first permanent error — a
+// full disk does not heal by waiting.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+	"time"
+)
+
+// FS is the set of filesystem operations the durable-state layers use.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// OpenFile opens name with the given flags, wrapping the handle so
+	// per-operation faults apply to reads, writes, syncs and closes too.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (POSIX semantics).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadDir lists name, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// File is the open-file surface the seam exposes; *os.File satisfies it
+// directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Name returns the path the file was opened under.
+	Name() string
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate resizes the file.
+	Truncate(size int64) error
+}
+
+// osFS is the production passthrough to package os.
+type osFS struct{}
+
+// OS returns the real filesystem. The zero-allocation passthrough is
+// shared; callers must not assume a distinct instance per call.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Transient reports whether err is a plausibly transient I/O failure
+// worth retrying: EINTR, EAGAIN, or ETIMEDOUT, possibly wrapped.
+// Everything else — ENOSPC, EIO, permission errors, missing files — is
+// permanent: retrying cannot help and must not hide it.
+func Transient(err error) bool {
+	return errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ETIMEDOUT)
+}
+
+// Retry runs op, retrying transient failures (per Transient) up to
+// attempts total runs with doubling backoff starting at base. The first
+// permanent error is returned immediately — fail fast, fail loud — and
+// a transient error that survives every attempt is returned as-is so
+// callers can still classify it.
+func Retry(attempts int, base time.Duration, op func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+		if i < attempts-1 && base > 0 {
+			time.Sleep(base << uint(i))
+		}
+	}
+	return err
+}

@@ -1,0 +1,236 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	fsys := OS()
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f.txt")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	moved := filepath.Join(dir, "g.txt")
+	if err := fsys.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat(moved); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorNthOperation pins the core counting contract: the fault
+// skips After matches, then fires exactly Times times.
+func TestInjectorNthOperation(t *testing.T) {
+	in := NewInjector(OS(), 1)
+	in.Inject(Fault{Op: OpWrite, After: 2, Times: 2, Err: syscall.EIO})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		_, werr := f.Write([]byte("x"))
+		errs = append(errs, werr != nil)
+		if werr != nil && !errors.Is(werr, syscall.EIO) {
+			t.Fatalf("write %d: error %v does not unwrap to EIO", i, werr)
+		}
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("write error pattern = %v, want %v", errs, want)
+		}
+	}
+	if got := in.OpCount(OpWrite); got != 6 {
+		t.Errorf("OpCount(write) = %d, want 6", got)
+	}
+}
+
+// TestInjectorShortWrite asserts torn-write simulation: Short bytes land
+// in the file before the error surfaces.
+func TestInjectorShortWrite(t *testing.T) {
+	in := NewInjector(OS(), 1)
+	in.Inject(Fault{Op: OpWrite, Err: syscall.ENOSPC, Short: 3})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("short write = (%d, %v), want (3, ENOSPC)", n, werr)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("file contents after torn write = %q, %v", got, err)
+	}
+}
+
+// TestInjectorPathFilter verifies path-substring scoping: only the
+// matching file sees the fault.
+func TestInjectorPathFilter(t *testing.T) {
+	in := NewInjector(OS(), 1)
+	in.Inject(Fault{Op: OpOpen, Path: "victim", Times: -1, Err: syscall.EIO})
+	dir := t.TempDir()
+	if _, err := in.OpenFile(filepath.Join(dir, "bystander"), os.O_CREATE|os.O_RDWR, 0o644); err != nil {
+		t.Fatalf("bystander open failed: %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "victim"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("victim open = %v, want EIO", err)
+	}
+}
+
+// TestInjectorProbDeterministic fixes the seeded probabilistic mode:
+// the same seed and op sequence produce the same firing pattern.
+func TestInjectorProbDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := NewInjector(OS(), seed)
+		in.Inject(Fault{Op: OpReadFile, Times: -1, Prob: 0.5, Err: syscall.EIO})
+		path := filepath.Join(t.TempDir(), "f")
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := in.ReadFile(path)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob=0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+// TestInjectorLatencyOnly: a nil-Err fault slows the op but lets it
+// succeed.
+func TestInjectorLatencyOnly(t *testing.T) {
+	in := NewInjector(OS(), 1)
+	in.Inject(Fault{Op: OpStat, Delay: 20 * time.Millisecond})
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := in.Stat(path); err != nil {
+		t.Fatalf("latency-only fault failed the op: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("stat took %v, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, err := range []error{syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT} {
+		if !Transient(faultErr(OpWrite, "x", err)) {
+			t.Errorf("Transient(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{syscall.ENOSPC, syscall.EIO, os.ErrPermission, errors.New("other")} {
+		if Transient(err) {
+			t.Errorf("Transient(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestRetryTransientThenSuccess: a transient error is retried within the
+// attempt budget; a permanent one fails fast on first sight.
+func TestRetryTransientThenSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(3, 0, func() error {
+		calls++
+		if calls < 3 {
+			return syscall.EAGAIN
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want success on the 3rd", err, calls)
+	}
+
+	calls = 0
+	err = Retry(5, 0, func() error {
+		calls++
+		return syscall.ENOSPC
+	})
+	if !errors.Is(err, syscall.ENOSPC) || calls != 1 {
+		t.Fatalf("permanent error: Retry = %v after %d calls, want ENOSPC after exactly 1", err, calls)
+	}
+
+	calls = 0
+	err = Retry(3, 0, func() error {
+		calls++
+		return syscall.EAGAIN
+	})
+	if !errors.Is(err, syscall.EAGAIN) || calls != 3 {
+		t.Fatalf("exhausted retries: Retry = %v after %d calls, want EAGAIN after 3", err, calls)
+	}
+}
+
+// TestFaultDefaultsFireOnce: the zero Times fires exactly once.
+func TestFaultDefaultsFireOnce(t *testing.T) {
+	in := NewInjector(OS(), 1)
+	in.Inject(Fault{Op: OpRemove, Err: syscall.EIO})
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, "f")
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := in.Remove(path)
+		if i == 0 && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("first remove = %v, want EIO", err)
+		}
+		if i == 1 && err != nil {
+			t.Fatalf("second remove = %v, want success (fault fires once)", err)
+		}
+	}
+}

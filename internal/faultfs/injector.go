@@ -1,0 +1,294 @@
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op classifies one filesystem operation for fault matching.
+type Op string
+
+// The operation classes an Injector can target.
+const (
+	OpMkdir    Op = "mkdir"
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpReadFile Op = "readfile"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpSeek     Op = "seek"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpStat     Op = "stat"
+	OpReadDir  Op = "readdir"
+)
+
+// Fault is one injection rule. The zero value of each field widens the
+// match: an empty Op matches every operation class, an empty Path every
+// path. Matching operations are counted; the fault arms after the
+// After-th match and then fires Times times (0 means once, -1 forever).
+// When Prob is set the armed fault fires probabilistically instead,
+// drawn from the injector's seeded generator — still deterministic for
+// a fixed seed and operation sequence.
+type Fault struct {
+	// Op restricts the fault to one operation class ("" = any).
+	Op Op
+	// Path restricts the fault to paths containing this substring.
+	Path string
+	// After skips the first After matching operations before arming.
+	After int
+	// Times bounds how often the armed fault fires: 0 = once, -1 = every
+	// match, n > 0 = n times.
+	Times int
+	// Prob, when > 0, makes each armed match fire with this probability
+	// using the injector's seeded RNG, instead of unconditionally.
+	Prob float64
+	// Err is the error returned by a firing fault. A nil Err with a
+	// non-zero Delay is a pure latency fault: the operation slows down
+	// but succeeds.
+	Err error
+	// Short, for write faults, is how many bytes reach the file before
+	// Err is returned — a torn write. Negative means none.
+	Short int
+	// Delay is added latency before the fault's verdict (and before the
+	// operation itself when Err is nil).
+	Delay time.Duration
+}
+
+// armedFault tracks one rule's match and fire counts.
+type armedFault struct {
+	Fault
+	seen  int
+	fired int
+}
+
+// Injector is a fault-injecting FS decorator. All faults are evaluated
+// in injection order on every operation; the first firing fault wins.
+// It is safe for concurrent use, and — given a fixed seed and a fixed
+// operation sequence — fully deterministic.
+type Injector struct {
+	base FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults []*armedFault
+	ops    map[Op]int64
+}
+
+// NewInjector wraps base with a fault layer seeded with seed.
+func NewInjector(base FS, seed int64) *Injector {
+	return &Injector{
+		base: base,
+		rng:  rand.New(rand.NewSource(seed)),
+		ops:  make(map[Op]int64),
+	}
+}
+
+// Inject adds a fault rule. Rules accumulate; each is matched
+// independently in injection order.
+func (in *Injector) Inject(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &armedFault{Fault: f})
+}
+
+// OpCount returns how many operations of class op have been observed.
+func (in *Injector) OpCount(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops[op]
+}
+
+// hit records one operation and returns the firing fault, if any. The
+// returned Fault is a copy; Delay has already been slept.
+func (in *Injector) hit(op Op, path string) *Fault {
+	in.mu.Lock()
+	in.ops[op]++
+	var fired *Fault
+	var delay time.Duration
+	for _, af := range in.faults {
+		if af.Op != "" && af.Op != op {
+			continue
+		}
+		if af.Path != "" && !contains(path, af.Path) {
+			continue
+		}
+		af.seen++
+		if af.seen <= af.After {
+			continue
+		}
+		times := af.Times
+		if times == 0 {
+			times = 1
+		}
+		if times >= 0 && af.fired >= times {
+			continue
+		}
+		if af.Prob > 0 && in.rng.Float64() >= af.Prob {
+			continue
+		}
+		af.fired++
+		f := af.Fault
+		fired = &f
+		delay = f.Delay
+		break
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fired
+}
+
+// contains is strings.Contains without the import (keeps the hot check
+// allocation-free and trivially inlinable).
+func contains(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// faultErr wraps an injected error so messages identify the injection
+// site while errors.Is still matches the underlying errno.
+func faultErr(op Op, path string, err error) error {
+	return fmt.Errorf("faultfs: injected fault on %s %s: %w", op, path, err)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if f := in.hit(OpMkdir, path); f != nil && f.Err != nil {
+		return faultErr(OpMkdir, path, f.Err)
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// OpenFile implements FS; the returned File routes every read, write,
+// sync, seek, truncate and close back through the injector.
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if f := in.hit(OpOpen, name); f != nil && f.Err != nil {
+		return nil, faultErr(OpOpen, name, f.Err)
+	}
+	file, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: file, path: name}, nil
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if f := in.hit(OpReadFile, name); f != nil && f.Err != nil {
+		return nil, faultErr(OpReadFile, name, f.Err)
+	}
+	return in.base.ReadFile(name)
+}
+
+// Rename implements FS. The fault matches on the destination path.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.hit(OpRename, newpath); f != nil && f.Err != nil {
+		return faultErr(OpRename, newpath, f.Err)
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if f := in.hit(OpRemove, name); f != nil && f.Err != nil {
+		return faultErr(OpRemove, name, f.Err)
+	}
+	return in.base.Remove(name)
+}
+
+// Stat implements FS.
+func (in *Injector) Stat(name string) (fs.FileInfo, error) {
+	if f := in.hit(OpStat, name); f != nil && f.Err != nil {
+		return nil, faultErr(OpStat, name, f.Err)
+	}
+	return in.base.Stat(name)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if f := in.hit(OpReadDir, name); f != nil && f.Err != nil {
+		return nil, faultErr(OpReadDir, name, f.Err)
+	}
+	return in.base.ReadDir(name)
+}
+
+// injFile decorates an open file with the injector's fault rules.
+type injFile struct {
+	in   *Injector
+	f    File
+	path string
+}
+
+func (fl *injFile) Name() string { return fl.f.Name() }
+
+func (fl *injFile) Read(p []byte) (int, error) {
+	if f := fl.in.hit(OpRead, fl.path); f != nil && f.Err != nil {
+		return 0, faultErr(OpRead, fl.path, f.Err)
+	}
+	return fl.f.Read(p)
+}
+
+// Write honors Short on firing faults: that many bytes reach the
+// underlying file before the error returns — the torn-write simulation
+// the WAL's rollback path exists for.
+func (fl *injFile) Write(p []byte) (int, error) {
+	f := fl.in.hit(OpWrite, fl.path)
+	if f == nil || f.Err == nil {
+		return fl.f.Write(p)
+	}
+	n := 0
+	if f.Short > 0 {
+		short := f.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		var werr error
+		n, werr = fl.f.Write(p[:short])
+		if werr != nil {
+			return n, werr
+		}
+	}
+	return n, faultErr(OpWrite, fl.path, f.Err)
+}
+
+func (fl *injFile) Sync() error {
+	if f := fl.in.hit(OpSync, fl.path); f != nil && f.Err != nil {
+		return faultErr(OpSync, fl.path, f.Err)
+	}
+	return fl.f.Sync()
+}
+
+func (fl *injFile) Close() error {
+	if f := fl.in.hit(OpClose, fl.path); f != nil && f.Err != nil {
+		return faultErr(OpClose, fl.path, f.Err)
+	}
+	return fl.f.Close()
+}
+
+func (fl *injFile) Seek(offset int64, whence int) (int64, error) {
+	if f := fl.in.hit(OpSeek, fl.path); f != nil && f.Err != nil {
+		return 0, faultErr(OpSeek, fl.path, f.Err)
+	}
+	return fl.f.Seek(offset, whence)
+}
+
+func (fl *injFile) Truncate(size int64) (err error) {
+	if f := fl.in.hit(OpTruncate, fl.path); f != nil && f.Err != nil {
+		return faultErr(OpTruncate, fl.path, f.Err)
+	}
+	return fl.f.Truncate(size)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 )
 
 // Recover opens the job store rooted at dir, replays its log into the
@@ -29,8 +30,13 @@ import (
 // open. Recover returns the number of jobs reconstructed. It is meant
 // to run once, before the engine serves traffic; attaching a second
 // store is an error.
-func (e *Engine) Recover(dir string) (int, error) {
-	st, err := OpenStore(dir)
+func (e *Engine) Recover(dir string) (int, error) { return e.RecoverFS(dir, nil) }
+
+// RecoverFS is Recover with the store's file I/O routed through fsys
+// (the real filesystem when nil) — the seam chaos tests use to replay
+// recovery against injected disk faults.
+func (e *Engine) RecoverFS(dir string, fsys faultfs.FS) (int, error) {
+	st, err := OpenStoreFS(dir, fsys)
 	if err != nil {
 		return 0, err
 	}

@@ -4,11 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Record types, in lifecycle order. Every transition the engine makes is
@@ -75,37 +79,60 @@ const WALName = "jobs.wal"
 // Store is a write-ahead, file-backed job store: an append-only file of
 // JSON-line records under a directory. Opening the store replays the
 // existing log (repairing a torn final line left by a crash mid-write)
-// and positions the file for appends. All methods are safe for
+// and positions the file for appends. All file I/O goes through a
+// faultfs.FS, so the failure paths — a torn append rolled back by
+// truncate, a wedged store after a failed rollback — are exercised by
+// injected faults, not just reasoned about. All methods are safe for
 // concurrent use.
 type Store struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        faultfs.File
 	path     string
 	replayed []Record
 	repaired int64 // bytes dropped from a torn tail at open
+	off      int64 // end of the last durably-consistent record
 	appends  int64
+	rollbks  int64 // torn appends rolled back in place
 	closed   bool
+	wedged   bool
 }
 
-// OpenStore opens (creating if needed) the job store rooted at dir. The
-// existing log is read and validated: a final line that does not parse —
-// the signature of a crash mid-append — is truncated away, while garbage
-// anywhere else fails the open, because silently skipping interior
-// records would un-happen acknowledged jobs.
-func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// storeRetries / storeBackoff bound the retry-with-backoff loop around
+// each append: transient errors (EINTR, EAGAIN, ETIMEDOUT) are retried
+// after rolling the torn bytes back, permanent ones (ENOSPC, EIO) fail
+// fast to the caller — which refuses the ack.
+const (
+	storeRetries = 3
+	storeBackoff = 2 * time.Millisecond
+)
+
+// OpenStore opens (creating if needed) the job store rooted at dir on
+// the real filesystem. See OpenStoreFS.
+func OpenStore(dir string) (*Store, error) { return OpenStoreFS(dir, nil) }
+
+// OpenStoreFS opens (creating if needed) the job store rooted at dir,
+// with all file I/O routed through fsys (the real filesystem when nil).
+// The existing log is read and validated: a final line that does not
+// parse — the signature of a crash mid-append — is truncated away, while
+// garbage anywhere else fails the open, because silently skipping
+// interior records would un-happen acknowledged jobs.
+func OpenStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: creating store dir: %w", err)
 	}
 	path := filepath.Join(dir, WALName)
-	raw, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	raw, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, fmt.Errorf("jobs: reading store log: %w", err)
 	}
 	records, validLen, err := scanLog(raw)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: store log %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: opening store log: %w", err)
 	}
@@ -124,6 +151,7 @@ func OpenStore(dir string) (*Store, error) {
 		path:     path,
 		replayed: records,
 		repaired: int64(len(raw)) - validLen,
+		off:      validLen,
 	}, nil
 }
 
@@ -177,9 +205,24 @@ func (s *Store) Repaired() int64 { return s.repaired }
 // Path returns the log file path.
 func (s *Store) Path() string { return s.path }
 
+// ErrStoreWedged marks a store whose rollback of a torn append failed:
+// the log tail is in an unknown state, so every further append is
+// refused rather than risk writing interior garbage after it. A restart
+// recovers — the open-time scan repairs the torn tail.
+var ErrStoreWedged = errors.New("jobs: store wedged by a failed append rollback (restart repairs the log)")
+
 // Append writes one record to the log. Submitted and terminal records
 // are fsynced before Append returns — the write-ahead contract: no job
 // the client was told about can vanish in a crash.
+//
+// Failure discipline: a failed or short write is rolled back in place
+// (truncate + seek to the last consistent offset) so the log never
+// accumulates interior garbage — which the next open would rightly
+// refuse to skip. Transient errors are then retried with backoff;
+// permanent ones propagate, and the caller withholds the ack. If the
+// rollback itself fails the store wedges (ErrStoreWedged): it stops
+// accepting appends entirely, because the only safe repair for an
+// unknown tail is the open-time torn-tail scan of the next process.
 func (s *Store) Append(rec Record) error {
 	if rec.V == 0 {
 		rec.V = storeVersion
@@ -197,16 +240,70 @@ func (s *Store) Append(rec Record) error {
 	if s.closed {
 		return fmt.Errorf("jobs: store is closed")
 	}
-	if _, err := s.f.Write(b); err != nil {
+	if s.wedged {
+		return ErrStoreWedged
+	}
+	err = faultfs.Retry(storeRetries, storeBackoff, func() error {
+		if _, werr := s.f.Write(b); werr != nil {
+			if rerr := s.rollbackLocked(); rerr != nil {
+				return rerr // permanent by construction: ends the retry loop
+			}
+			return werr
+		}
+		return nil
+	})
+	if err != nil {
+		if s.wedged {
+			return err
+		}
 		return fmt.Errorf("jobs: appending store record: %w", err)
 	}
-	s.appends++
-	if rec.terminal() || rec.Type == RecSubmitted {
-		if err := s.f.Sync(); err != nil {
+	durable := rec.terminal() || rec.Type == RecSubmitted
+	if durable {
+		if err := faultfs.Retry(storeRetries, storeBackoff, func() error { return s.f.Sync() }); err != nil {
+			// The bytes reached the file but not stable storage, so the
+			// ack cannot be given. Roll the record back out: a record that
+			// was never acknowledged must not reappear after a restart as
+			// if it had been.
+			if rerr := s.rollbackLocked(); rerr != nil {
+				return rerr
+			}
 			return fmt.Errorf("jobs: syncing store log: %w", err)
 		}
 	}
+	s.off += int64(len(b))
+	s.appends++
 	return nil
+}
+
+// rollbackLocked restores the log to the last consistent append offset
+// after a torn write, wedging the store if the repair fails. Caller
+// holds s.mu.
+func (s *Store) rollbackLocked() error {
+	if terr := s.f.Truncate(s.off); terr != nil {
+		s.wedged = true
+		return fmt.Errorf("%w: truncate to offset %d: %v", ErrStoreWedged, s.off, terr)
+	}
+	if _, serr := s.f.Seek(s.off, 0); serr != nil {
+		s.wedged = true
+		return fmt.Errorf("%w: seek to offset %d: %v", ErrStoreWedged, s.off, serr)
+	}
+	s.rollbks++
+	return nil
+}
+
+// Wedged reports whether a failed rollback has wedged the store.
+func (s *Store) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wedged
+}
+
+// Rollbacks returns the number of torn appends rolled back in place.
+func (s *Store) Rollbacks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rollbks
 }
 
 // Appends returns the number of records appended since open.

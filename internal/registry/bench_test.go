@@ -48,6 +48,54 @@ func BenchmarkRegistryParallelGet(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryGetDiskFallthrough prices the rungs of the lookup
+// ladder: a memory hit (LRU refresh under a shard lock), versus a disk
+// fall-through (read the spill file, re-hash it for verification,
+// re-parse the CSV, promote into the shard). The gap is the budget
+// question -spill-dir answers: how much slower is the second rung that
+// replaces data loss. Wired into the verify.sh benchmark-smoke tier.
+func BenchmarkRegistryGetDiskFallthrough(b *testing.B) {
+	setup := func(b *testing.B) (*Registry, Hash) {
+		sp, err := OpenSpill(b.TempDir(), 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := NewSharded(0, 4)
+		r.AttachSpill(sp, dataset.CSVOptions{})
+		e, _, err := r.Register(uniqueCSV(0), dataset.CSVOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pre-spill so the fall-through arm has a file to load without
+		// waiting for a budget eviction.
+		if err := sp.store(e.Hash, Canonicalize(uniqueCSV(0))); err != nil {
+			b.Fatal(err)
+		}
+		return r, e.Hash
+	}
+	b.Run("memory-hit", func(b *testing.B) {
+		r, h := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := r.Get(h); !ok {
+				b.Fatal("resident entry missed")
+			}
+		}
+	})
+	b.Run("disk-fallthrough", func(b *testing.B) {
+		r, h := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Evict between iterations (uncounted bookkeeping is the
+			// shard-map delete; the measured work is the verified load).
+			r.shardFor(h).remove(h)
+			if _, ok := r.Get(h); !ok {
+				b.Fatal("spilled entry missed")
+			}
+		}
+	})
+}
+
 // BenchmarkRegistryParallelMixed adds registration traffic (90% Get /
 // 10% Register of an already-resident dataset) — the dedup fast path
 // also takes the shard lock, so this is the contention profile of a

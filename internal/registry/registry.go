@@ -16,6 +16,14 @@
 // least-recently-used entries regardless of which shard holds them, so
 // the observable contents match a single-shard store exactly while
 // unrelated Get/Register traffic no longer serializes on one lock.
+//
+// With a disk-spill tier attached (AttachSpill), eviction is no longer
+// data loss: the victim's canonicalized CSV bytes are written
+// crash-safely to disk *before* the in-memory entry is dropped, and a
+// Get that misses memory falls through to a checksum-verified disk load
+// that re-parses and promotes the dataset back into memory. The
+// observable ladder is memory hit → disk hit → miss; a spill file whose
+// contents no longer hash to its name is quarantined, never served.
 package registry
 
 import (
@@ -72,6 +80,11 @@ type Entry struct {
 	Hash  Hash
 	Data  *dataset.Dataset
 	Bytes int64 // estimated resident size, charged against the budget
+
+	// raw holds the canonicalized CSV bytes when a spill tier is
+	// attached — the payload a byte-budget eviction writes to disk.
+	// Registries without a spill tier leave it nil (no memory overhead).
+	raw []byte
 }
 
 // ShardStats is the per-shard slice of the registry counters.
@@ -85,7 +98,8 @@ type ShardStats struct {
 
 // Stats is a point-in-time snapshot of the registry counters. The
 // top-level counters aggregate across shards; Shards carries the
-// per-shard breakdown for /statsz.
+// per-shard breakdown for /statsz, and Spill the disk-tier counters
+// when one is attached.
 type Stats struct {
 	Entries   int          `json:"entries"`
 	Bytes     int64        `json:"bytes"`
@@ -94,15 +108,25 @@ type Stats struct {
 	Misses    int64        `json:"misses"`
 	Evictions int64        `json:"evictions"`
 	Shards    []ShardStats `json:"shards,omitempty"`
+	Spill     *SpillStats  `json:"spill,omitempty"`
 }
 
 // Registry is a byte-budgeted, content-addressed, lock-striped LRU store
-// of parsed datasets. All methods are safe for concurrent use.
+// of parsed datasets, optionally backed by a disk-spill tier. All
+// methods are safe for concurrent use.
 type Registry struct {
 	budget int64 // <= 0 means unlimited
 	shards []*shard
 	size   atomic.Int64 // total resident bytes across shards
 	clock  atomic.Int64 // global recency stamp source (see shard.go)
+
+	// spill, when non-nil, is the disk tier beneath the memory LRU;
+	// spillOpts are the CSV options disk fall-through re-parses with
+	// (they must match what Register was called with, or the promoted
+	// dataset would differ from the original). Set once by AttachSpill
+	// before the registry serves traffic.
+	spill     *Spill
+	spillOpts dataset.CSVOptions
 }
 
 // New returns a registry bounded by budgetBytes (<= 0 for unlimited)
@@ -127,6 +151,21 @@ func NewSharded(budgetBytes int64, shards int) *Registry {
 
 // NumShards returns the number of lock stripes.
 func (r *Registry) NumShards() int { return len(r.shards) }
+
+// AttachSpill wires the disk tier beneath the memory LRU: evictions
+// spill the canonicalized CSV to sp before dropping the in-memory
+// entry, and Get misses fall through to a verified disk load that is
+// re-parsed with opts and promoted back into memory. Attach before the
+// registry serves traffic — entries registered earlier carry no raw
+// bytes and evict without spilling (they predate the tier, so nothing
+// is lost that was ever on it).
+func (r *Registry) AttachSpill(sp *Spill, opts dataset.CSVOptions) {
+	r.spill = sp
+	r.spillOpts = opts
+}
+
+// Spill returns the attached disk tier, nil if none.
+func (r *Registry) Spill() *Spill { return r.spill }
 
 // shardFor maps a content address onto its stripe with FNV-1a, inlined
 // (hash/fnv's New32a allocates per call, which would dominate the Get
@@ -160,7 +199,9 @@ func (r *Registry) shardFor(h Hash) *shard {
 // existed == true and nothing is re-parsed — that dedup is the cache hit
 // the counters record. A parse failure stores nothing.
 func (r *Registry) Register(csv []byte, opts dataset.CSVOptions) (*Entry, bool, error) {
-	h := HashBytes(csv)
+	canon := Canonicalize(csv)
+	sum := sha256.Sum256(canon)
+	h := Hash(hex.EncodeToString(sum[:]))
 	sh := r.shardFor(h)
 	if e, ok := sh.get(h, r.clock.Add(1)); ok {
 		return e, true, nil
@@ -174,7 +215,7 @@ func (r *Registry) Register(csv []byte, opts dataset.CSVOptions) (*Entry, bool, 
 		sh.miss()
 		return nil, false, fmt.Errorf("registry: parsing CSV: %w", err)
 	}
-	e := &Entry{Hash: h, Data: data, Bytes: datasetBytes(data)}
+	e := r.newEntry(h, data, canon)
 
 	e, existed := sh.put(e, r.clock.Add(1))
 	if !existed {
@@ -184,23 +225,77 @@ func (r *Registry) Register(csv []byte, opts dataset.CSVOptions) (*Entry, bool, 
 	return e, existed, nil
 }
 
-// Get looks up a dataset by hash, refreshing its LRU recency.
+// newEntry builds an Entry, retaining (and charging for) the canonical
+// bytes only when a spill tier needs them at eviction time.
+func (r *Registry) newEntry(h Hash, data *dataset.Dataset, canon []byte) *Entry {
+	e := &Entry{Hash: h, Data: data, Bytes: datasetBytes(data)}
+	if r.spill != nil {
+		e.raw = canon
+		e.Bytes += int64(len(canon))
+	}
+	return e
+}
+
+// Get looks up a dataset by hash, refreshing its LRU recency. With a
+// spill tier attached, a memory miss falls through to a verified disk
+// load: the spill file is re-hashed (a mismatch quarantines it and
+// reports a miss — corruption is never served), re-parsed, and promoted
+// back into the memory tier. Exactly one of hits/misses moves per call:
+// a disk hit charges the miss through the promotion insert, keeping the
+// hits+misses == lookups invariant intact across tiers.
 func (r *Registry) Get(h Hash) (*Entry, bool) {
 	sh := r.shardFor(h)
 	if e, ok := sh.get(h, r.clock.Add(1)); ok {
+		return e, true
+	}
+	if e, ok := r.promoteFromSpill(sh, h); ok {
 		return e, true
 	}
 	sh.miss()
 	return nil, false
 }
 
-// Remove drops the entry for h, reporting whether it was resident.
-// Explicit removal is a delete, not an eviction: it does not move the
-// hit/miss/eviction counters.
+// promoteFromSpill serves a memory miss from the disk tier: load and
+// verify the spilled bytes, re-parse, insert into the shard (charging
+// the miss the lookup owes), and re-enforce the memory budget — which
+// may in turn spill something else.
+func (r *Registry) promoteFromSpill(sh *shard, h Hash) (*Entry, bool) {
+	if r.spill == nil {
+		return nil, false
+	}
+	raw, err := r.spill.load(h)
+	if err != nil {
+		return nil, false // missing, unreadable, or quarantined: a plain miss
+	}
+	data, err := dataset.ReadCSV(bytes.NewReader(raw), r.spillOpts)
+	if err != nil {
+		// The bytes hash correctly, so they are exactly what was once
+		// parsed successfully; a parse failure here means the options
+		// changed between runs. Treat as a miss rather than serve a
+		// dataset parsed differently than the original.
+		r.spill.loadErrors.Add(1)
+		return nil, false
+	}
+	e, existed := sh.put(r.newEntry(h, data, raw), r.clock.Add(1))
+	if !existed {
+		r.size.Add(e.Bytes)
+		r.enforceBudget(h)
+	}
+	return e, true
+}
+
+// Remove drops the entry for h across every tier — memory, spill file,
+// and any quarantined copy — reporting whether any of them held it.
+// Deletion must be total: after Remove, no tier may re-materialize the
+// dataset. Explicit removal is a delete, not an eviction: it does not
+// move the hit/miss/eviction counters.
 func (r *Registry) Remove(h Hash) bool {
 	freed, ok := r.shardFor(h).remove(h)
 	if ok {
 		r.size.Add(-freed)
+	}
+	if r.spill != nil && r.spill.remove(h) {
+		ok = true
 	}
 	return ok
 }
@@ -226,21 +321,62 @@ func (r *Registry) enforceBudget(justAdded Hash) {
 
 // evictGlobalLRU removes the resident entry with the oldest recency
 // stamp, skipping spare. It reports false when nothing is evictable —
-// spare is the only entry left — which ends budget enforcement.
+// spare is the only entry left, or a spill tier is attached and the
+// victim cannot be spilled — which ends budget enforcement.
+//
+// With a spill tier the protocol is spill-then-evict: peek the victim,
+// write its spill file outside every shard lock, then evict only if its
+// recency stamp is unchanged (compare-and-evict). Eviction never
+// precedes a durable copy, so a crash or write failure at any point
+// leaves the dataset resident in exactly one tier. A permanent spill
+// failure aborts enforcement entirely: the registry stays over budget
+// and keeps serving from memory — counted, not hidden (write_errors in
+// /statsz) — because dropping the only copy to honor a byte budget
+// would turn a disk error into data loss.
 func (r *Registry) evictGlobalLRU(spare Hash) bool {
 	for {
 		victim, entries := r.oldestShard(spare)
 		if victim == nil || entries <= 1 {
 			return false
 		}
-		freed, evicted := victim.evictOldest(spare)
-		if evicted {
+		if r.spill == nil {
+			freed, evicted := victim.evictOldest(spare)
+			if evicted {
+				r.size.Add(-freed)
+				return true
+			}
+			// The scanned tail moved (a concurrent touch or removal): rescan.
+			// Progress is guaranteed — either some pass evicts, or the store
+			// drains to a single entry and oldestShard returns nil.
+			continue
+		}
+		e, stamp, ok := victim.peekOldest(spare)
+		if !ok {
+			continue // tail moved since the scan: rescan
+		}
+		// Entries registered before AttachSpill carry no raw bytes and
+		// evict without spilling — they predate the disk tier.
+		if e.raw != nil {
+			if err := r.spill.store(e.Hash, e.raw); err != nil {
+				return false
+			}
+		}
+		freed, status := victim.evictIfUnchanged(e.Hash, stamp)
+		switch status {
+		case evictOK:
 			r.size.Add(-freed)
 			return true
+		case evictGone:
+			// A concurrent Remove won: deletion is total, so the spill
+			// file written above must not resurrect the dataset.
+			if e.raw != nil {
+				r.spill.remove(e.Hash)
+			}
+		case evictTouched:
+			// A concurrent Get refreshed the entry; it is no longer the
+			// LRU victim. The spill file stays — it is correct by
+			// content address and pre-pays a future eviction.
 		}
-		// The scanned tail moved (a concurrent touch or removal): rescan.
-		// Progress is guaranteed — either some pass evicts, or the store
-		// drains to a single entry and oldestShard returns nil.
 	}
 }
 
@@ -273,6 +409,10 @@ func (r *Registry) Stats() Stats {
 		s.Hits += ss.Hits
 		s.Misses += ss.Misses
 		s.Evictions += ss.Evictions
+	}
+	if r.spill != nil {
+		sp := r.spill.Stats()
+		s.Spill = &sp
 	}
 	return s
 }

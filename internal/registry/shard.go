@@ -111,6 +111,58 @@ func (s *shard) oldest(spare Hash) (entries int, stamp int64, ok bool) {
 	return entries, se.stamp, true
 }
 
+// evictStatus classifies the outcome of evictIfUnchanged.
+type evictStatus int
+
+const (
+	evictOK      evictStatus = iota // the entry was evicted
+	evictTouched                    // recency moved since the peek; entry kept
+	evictGone                       // the entry is no longer resident
+)
+
+// peekOldest returns the shard's LRU-tail entry and its recency stamp
+// without evicting, skipping spare the same way evictOldest does. The
+// spill-then-evict protocol peeks, writes the spill file outside all
+// shard locks, then confirms with evictIfUnchanged.
+func (s *shard) peekOldest(spare Hash) (*Entry, int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el := s.ll.Back()
+	if el == nil {
+		return nil, 0, false
+	}
+	if el.Value.(*shardEntry).e.Hash == spare {
+		if el = el.Prev(); el == nil {
+			return nil, 0, false
+		}
+	}
+	se := el.Value.(*shardEntry)
+	return se.e, se.stamp, true
+}
+
+// evictIfUnchanged evicts h only if its recency stamp still equals the
+// stamp observed at peek time — a compare-and-evict. A stamp mismatch
+// means a concurrent Get touched the entry (it is no longer LRU; keep
+// it); a missing entry means a concurrent Remove beat us (the caller
+// must undo its just-written spill file, or Remove's totality breaks).
+func (s *shard) evictIfUnchanged(h Hash, stamp int64) (int64, evictStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[h]
+	if !ok {
+		return 0, evictGone
+	}
+	se := el.Value.(*shardEntry)
+	if se.stamp != stamp {
+		return 0, evictTouched
+	}
+	s.ll.Remove(el)
+	delete(s.entries, h)
+	s.size -= se.e.Bytes
+	s.evictions++
+	return se.e.Bytes, evictOK
+}
+
 // evictOldest removes the shard's LRU tail unless it is spare, returning
 // the bytes freed. When the tail is spare but older entries sit above it
 // (possible only under concurrent touches), the entry just ahead of the

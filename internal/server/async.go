@@ -15,6 +15,12 @@ import (
 // so the content hash always addresses identically-parsed data.
 func csvOptions() dataset.CSVOptions { return dataset.CSVOptions{TrimSpace: true} }
 
+// CSVOptions exposes the server's upload parsing configuration. A disk
+// spill tier must re-parse promoted datasets with exactly these options
+// (registry.AttachSpill), or a dataset would round-trip through disk
+// parsed differently than it was uploaded.
+func CSVOptions() dataset.CSVOptions { return csvOptions() }
+
 // Wire shapes for the dataset and job endpoints.
 
 type datasetJSON struct {
@@ -117,10 +123,13 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleDatasetDelete implements DELETE /datasets/{hash}: drop a pinned
-// dataset from the registry. Jobs already holding the parsed entry keep
-// working (entries are immutable); new submissions for the hash get 404
-// and recovered jobs referencing it degrade to their durable summary.
+// handleDatasetDelete implements DELETE /datasets/{hash}: drop a
+// dataset from every tier — the in-memory registry, its disk-spill
+// file, and any quarantined copy. Deletion is total: a later result
+// rehydration for the hash degrades to the durable summary instead of
+// resurrecting the dataset from disk. Jobs already holding the parsed
+// entry keep working (entries are immutable); new submissions for the
+// hash get 404.
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	h := registry.Hash(r.PathValue("hash"))
 	if !s.reg.Remove(h) {
@@ -212,6 +221,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		res, err = s.engine.Rehydrate(r.Context(), job)
 		if err != nil {
 			if sum := job.Summary(); sum != nil {
+				s.degraded.Add(1)
 				writeJSON(w, http.StatusOK, degradedResultJSON{
 					Degraded:      true,
 					Reason:        err.Error(),
@@ -219,6 +229,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 				})
 				return
 			}
+			s.gone.Add(1)
 			writeError(w, http.StatusGone, err.Error())
 			return
 		}
@@ -288,16 +299,39 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // statszJSON is the /statsz payload: job-engine and dataset-registry
-// statistics side by side.
+// statistics side by side, plus the degradation-ladder counters.
 type statszJSON struct {
 	Jobs     jobs.Stats     `json:"jobs"`
 	Datasets registry.Stats `json:"datasets"`
+	Ladder   ladderJSON     `json:"result_ladder"`
+}
+
+// ladderJSON counts how often each rung of the graceful-degradation
+// ladder actually served: memory hits and disk loads come from the
+// registry tiers, rehydrations re-mined a full result after a restart,
+// degraded served the durable summary only, and gone is the bottom —
+// HTTP 410, nothing survived.
+type ladderJSON struct {
+	MemoryHits  int64 `json:"memory_hits"`
+	DiskLoads   int64 `json:"disk_loads"`
+	Rehydrated  int64 `json:"rehydrated_results"`
+	Degraded    int64 `json:"degraded_results"`
+	Gone        int64 `json:"gone_results"`
+	Quarantined int64 `json:"quarantined_spills"`
 }
 
 // handleStatsz implements GET /statsz.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statszJSON{
-		Jobs:     s.engine.Stats(),
-		Datasets: s.reg.Stats(),
-	})
+	js, ds := s.engine.Stats(), s.reg.Stats()
+	ladder := ladderJSON{
+		MemoryHits: ds.Hits,
+		Rehydrated: js.Rehydrated,
+		Degraded:   s.degraded.Load(),
+		Gone:       s.gone.Load(),
+	}
+	if ds.Spill != nil {
+		ladder.DiskLoads = ds.Spill.Loads
+		ladder.Quarantined = ds.Spill.Quarantined
+	}
+	writeJSON(w, http.StatusOK, statszJSON{Jobs: js, Datasets: ds, Ladder: ladder})
 }

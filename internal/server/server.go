@@ -26,12 +26,21 @@
 //
 // With a job store attached (divexplorer-server -store-dir) every job
 // lifecycle transition is written through to disk and replayed on boot,
-// so completed results outlive a restart. For a recovered job, /result
-// walks a fallback chain: the full result is lazily re-mined from the
-// dataset registry when the dataset is still resident (byte-identical to
-// the pre-restart response), otherwise the durable summary is served
-// with an explicit "degraded": true marker, and 410 Gone only when not
-// even the summary survived.
+// so completed results outlive a restart. With a spill tier attached
+// too (-spill-dir), datasets evicted from the in-memory registry are
+// written to checksummed disk files instead of being lost, so a
+// recovered job can usually re-mine its full result without anyone
+// re-uploading anything. GET /jobs/{id}/result walks an explicit
+// graceful-degradation ladder, best rung first:
+//
+//  1. memory — the full result (or its dataset) is resident: full payload;
+//  2. disk spill — the dataset is reloaded from its verified spill file
+//     and the result re-mined, byte-identical to the pre-restart response;
+//  3. durable summary — served with "degraded": true when the dataset is
+//     gone from both tiers (or its spill file failed verification);
+//  4. 410 Gone — not even the summary survived.
+//
+// Each rung's serve count is exposed under result_ladder in /statsz.
 //
 // Query parameters shared by /analyze and /jobs:
 //
@@ -55,6 +64,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fpm"
@@ -89,6 +99,11 @@ type Server struct {
 	maxBody int64
 	reg     *registry.Registry
 	engine  *jobs.Engine
+
+	// Degradation-ladder counters for /statsz: results served as a
+	// durable summary only, and results answered 410 Gone.
+	degraded atomic.Int64
+	gone     atomic.Int64
 }
 
 // New builds a server, creating a default registry and engine for any

@@ -6,8 +6,8 @@
 #   2. go vet ./...                the stock vet analyzers
 #   3. go run ./cmd/divlint ./...  the project-invariant suite
 #                                  (floatcmp, errcheck, lockcopy,
-#                                  maporder, libprint, goleak; see
-#                                  DESIGN.md)
+#                                  maporder, libprint, goleak, errwrap;
+#                                  see DESIGN.md)
 #   4. go test -race ./...         all tests under the race detector;
 #                                  the Parallel-vs-FPGrowth stress test
 #                                  is this tier's primary target
@@ -19,17 +19,26 @@
 #                                  shutdown interleavings are
 #                                  timing-sensitive, so extra runs buy
 #                                  extra schedules
-#   6. fuzz smoke                  each native fuzz target for 10s of
+#   6. fault-injection tier        the disk-facing subsystems (faultfs
+#                                  injector, registry spill tier, WAL
+#                                  chaos tests, spill e2e) once more
+#                                  under -race with the fault schedule
+#                                  seeded via DIVEX_FAULT_SEED
+#                                  (default 1; export a different
+#                                  positive integer to explore other
+#                                  deterministic schedules — the seed
+#                                  is echoed so any failure reproduces)
+#   7. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
 #                                  per package per run, as go test
 #                                  requires)
-#   7. coverage summary            per-package statement coverage for
+#   8. coverage summary            per-package statement coverage for
 #                                  the durability layer (internal/jobs)
 #                                  and the miners the differential
 #                                  suite guards (internal/fpm) —
 #                                  informational, printed not gated
-#   8. benchmark smoke             every benchmark once, so a bench that
+#   9. benchmark smoke             every benchmark once, so a bench that
 #                                  panics or no longer compiles fails
 #                                  the gate, not the next perf session
 #
@@ -51,6 +60,11 @@ go test -race ./...
 
 echo "==> registry-race tier (sharded registry + durable jobs, -count=2)"
 go test -race -count=2 ./internal/registry/... ./internal/jobs/... ./internal/server/...
+
+echo "==> fault-injection tier (seed ${DIVEX_FAULT_SEED:-1})"
+DIVEX_FAULT_SEED="${DIVEX_FAULT_SEED:-1}" \
+    go test -race -run 'Chaos|Spill|Fault|Injector|Retry|Transient|OSPassthrough|RemoveIsTotal|DeleteDatasetPurges' \
+    ./internal/faultfs ./internal/registry ./internal/jobs ./internal/server
 
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
