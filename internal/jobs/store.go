@@ -157,8 +157,14 @@ func OpenStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
 
 // scanLog parses the raw log bytes into records and returns the length
 // of the valid prefix. A trailing line that fails to parse (torn write)
-// is excluded from the valid prefix; a malformed interior line is an
-// error.
+// is excluded from the valid prefix, and so is a final line with no
+// terminating newline even when it parses: the newline is part of the
+// same write as the record and the ack-gating fsync comes after it, so
+// an unterminated record was never acknowledged — while accepting it
+// would leave the valid prefix ending mid-line, and the next append
+// would glue its record onto that line, which a later open could only
+// read as interior corruption (or repair by truncating an acknowledged
+// record). A malformed interior line is an error.
 func scanLog(raw []byte) ([]Record, int64, error) {
 	var records []Record
 	var valid int64
@@ -169,23 +175,24 @@ func scanLog(raw []byte) ([]Record, int64, error) {
 		line++
 		b := sc.Bytes()
 		consumed := valid + int64(len(b)) + 1 // +1 for the newline
+		if consumed > int64(len(raw)) {
+			// Unterminated final line: torn by definition, parseable or not.
+			return records, valid, nil
+		}
 		if len(b) == 0 {
 			valid = consumed
 			continue
 		}
 		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil || rec.Type == "" || rec.Job == "" {
-			// Only a torn tail is repairable: the line must be the last
-			// one AND unterminated or end-of-input.
-			if consumed >= int64(len(raw)) {
+			// Only a torn tail is repairable: an unparseable line is
+			// tolerated (and truncated away) only as the very last one.
+			if consumed == int64(len(raw)) {
 				return records, valid, nil
 			}
 			return nil, 0, fmt.Errorf("corrupt record at line %d", line)
 		}
 		records = append(records, rec)
-		if consumed > int64(len(raw)) {
-			consumed = int64(len(raw))
-		}
 		valid = consumed
 	}
 	if err := sc.Err(); err != nil {

@@ -130,6 +130,76 @@ func TestStoreTornTailRepaired(t *testing.T) {
 	}
 }
 
+// TestStoreUnterminatedFinalRecordIsTorn: a final record that parses
+// but lacks its trailing newline is torn, not valid — the newline is
+// written in the same Write call as the record and the ack-gating fsync
+// comes after it, so such a record was never acknowledged. Accepting it
+// would position the next append mid-line, gluing two records onto one
+// line that a later open must reject as interior corruption.
+func TestStoreUnterminatedFinalRecordIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Type: RecSubmitted, Job: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(Record{Type: RecDone, Job: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A complete, parseable record with its trailing newline sheared off
+	// — the crash landing exactly one byte short.
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := `{"v":2,"type":"submitted","job":"b","time":"2026-01-01T00:00:00Z"}`
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("unterminated final record must be repaired, got %v", err)
+	}
+	if got := len(st2.Replay()); got != 2 {
+		t.Errorf("replayed %d records, want 2 — the unacked tail must not replay", got)
+	}
+	if got := st2.Repaired(); got != int64(len(torn)) {
+		t.Errorf("Repaired() = %d, want %d", got, len(torn))
+	}
+	// The next append must land on a fresh line, not glued to the tail.
+	if err := st2.Append(Record{Type: RecSubmitted, Job: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after repair+append failed: %v", err)
+	}
+	defer func() {
+		if err := st3.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := st3.Replay()
+	if len(got) != 3 || got[2].Job != "c" {
+		t.Errorf("replay after repair+append = %d records (last job %q), want 3 ending in c",
+			len(got), got[len(got)-1].Job)
+	}
+}
+
 func TestStoreInteriorCorruptionFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, WALName)

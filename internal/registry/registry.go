@@ -127,6 +127,13 @@ type Registry struct {
 	// before the registry serves traffic.
 	spill     *Spill
 	spillOpts dataset.CSVOptions
+
+	// locks serializes the spill tier's multi-step transitions per
+	// content address (see keylock.go): spill-then-evict, disk
+	// promotion, and Remove each hold the hash's lock end to end, so no
+	// two of them can interleave on one dataset. Unused without a spill
+	// tier.
+	locks keyLocks
 }
 
 // New returns a registry bounded by budgetBytes (<= 0 for unlimited)
@@ -259,12 +266,29 @@ func (r *Registry) Get(h Hash) (*Entry, bool) {
 // verify the spilled bytes, re-parse, insert into the shard (charging
 // the miss the lookup owes), and re-enforce the memory budget — which
 // may in turn spill something else.
+//
+// The whole load→parse→insert sequence runs under the hash's key lock,
+// which excludes Remove for its duration: a DELETE either completes
+// before the promotion starts (the spill file is gone, the lookup is a
+// plain miss) or blocks until the promotion finishes and then removes
+// the freshly promoted entry — it can never land in the middle and have
+// the insert resurrect a dataset whose deletion was already
+// acknowledged. The lock is released before budget enforcement, which
+// may acquire another hash's lock (never two at once — see keylock.go).
 func (r *Registry) promoteFromSpill(sh *shard, h Hash) (*Entry, bool) {
 	if r.spill == nil {
 		return nil, false
 	}
+	r.locks.lock(h)
+	// Re-probe memory under the lock: a concurrent promotion of the
+	// same hash may have landed while we waited.
+	if e, ok := sh.get(h, r.clock.Add(1)); ok {
+		r.locks.unlock(h)
+		return e, true
+	}
 	raw, err := r.spill.load(h)
 	if err != nil {
+		r.locks.unlock(h)
 		return nil, false // missing, unreadable, or quarantined: a plain miss
 	}
 	data, err := dataset.ReadCSV(bytes.NewReader(raw), r.spillOpts)
@@ -274,9 +298,11 @@ func (r *Registry) promoteFromSpill(sh *shard, h Hash) (*Entry, bool) {
 		// changed between runs. Treat as a miss rather than serve a
 		// dataset parsed differently than the original.
 		r.spill.loadErrors.Add(1)
+		r.locks.unlock(h)
 		return nil, false
 	}
 	e, existed := sh.put(r.newEntry(h, data, raw), r.clock.Add(1))
+	r.locks.unlock(h)
 	if !existed {
 		r.size.Add(e.Bytes)
 		r.enforceBudget(h)
@@ -287,9 +313,17 @@ func (r *Registry) promoteFromSpill(sh *shard, h Hash) (*Entry, bool) {
 // Remove drops the entry for h across every tier — memory, spill file,
 // and any quarantined copy — reporting whether any of them held it.
 // Deletion must be total: after Remove, no tier may re-materialize the
-// dataset. Explicit removal is a delete, not an eviction: it does not
-// move the hit/miss/eviction counters.
+// dataset, which is why (with a spill tier attached) Remove holds the
+// hash's key lock across both tiers — an in-flight disk promotion or
+// spill-on-evict of the same hash finishes first and its result is then
+// deleted here, instead of re-materializing the dataset afterwards.
+// Explicit removal is a delete, not an eviction: it does not move the
+// hit/miss/eviction counters.
 func (r *Registry) Remove(h Hash) bool {
+	if r.spill != nil {
+		r.locks.lock(h)
+		defer r.locks.unlock(h)
+	}
 	freed, ok := r.shardFor(h).remove(h)
 	if ok {
 		r.size.Add(-freed)
@@ -325,14 +359,19 @@ func (r *Registry) enforceBudget(justAdded Hash) {
 // victim cannot be spilled — which ends budget enforcement.
 //
 // With a spill tier the protocol is spill-then-evict: peek the victim,
+// take its key lock, re-confirm it is still the untouched LRU tail,
 // write its spill file outside every shard lock, then evict only if its
 // recency stamp is unchanged (compare-and-evict). Eviction never
 // precedes a durable copy, so a crash or write failure at any point
-// leaves the dataset resident in exactly one tier. A permanent spill
-// failure aborts enforcement entirely: the registry stays over budget
-// and keeps serving from memory — counted, not hidden (write_errors in
-// /statsz) — because dropping the only copy to honor a byte budget
-// would turn a disk error into data loss.
+// leaves the dataset resident in exactly one tier. The key lock held
+// across the whole cycle excludes Remove, disk promotion, and every
+// other evictor of the same hash: two concurrent over-budget inserts
+// can no longer both peek one victim and have the loser — finding the
+// entry gone — delete the spill file the winner just wrote. A permanent
+// spill failure aborts enforcement entirely: the registry stays over
+// budget and keeps serving from memory — counted, not hidden
+// (write_errors in /statsz) — because dropping the only copy to honor a
+// byte budget would turn a disk error into data loss.
 func (r *Registry) evictGlobalLRU(spare Hash) bool {
 	for {
 		victim, entries := r.oldestShard(spare)
@@ -354,10 +393,18 @@ func (r *Registry) evictGlobalLRU(spare Hash) bool {
 		if !ok {
 			continue // tail moved since the scan: rescan
 		}
+		r.locks.lock(e.Hash)
+		if s, ok := victim.stampOf(e.Hash); !ok || s != stamp {
+			// Evicted, removed, or touched while we waited for the lock:
+			// it is no longer the victim we peeked. Rescan.
+			r.locks.unlock(e.Hash)
+			continue
+		}
 		// Entries registered before AttachSpill carry no raw bytes and
 		// evict without spilling — they predate the disk tier.
 		if e.raw != nil {
 			if err := r.spill.store(e.Hash, e.raw); err != nil {
+				r.locks.unlock(e.Hash)
 				return false
 			}
 		}
@@ -365,17 +412,22 @@ func (r *Registry) evictGlobalLRU(spare Hash) bool {
 		switch status {
 		case evictOK:
 			r.size.Add(-freed)
+			r.locks.unlock(e.Hash)
 			return true
 		case evictGone:
-			// A concurrent Remove won: deletion is total, so the spill
-			// file written above must not resurrect the dataset.
+			// Unreachable while the key lock is held — Remove and
+			// promotion both serialize on it, and the stamp re-check
+			// above filtered rival evictors — but handled defensively:
+			// deletion must stay total, so drop the spill file.
 			if e.raw != nil {
 				r.spill.remove(e.Hash)
 			}
+			r.locks.unlock(e.Hash)
 		case evictTouched:
 			// A concurrent Get refreshed the entry; it is no longer the
 			// LRU victim. The spill file stays — it is correct by
 			// content address and pre-pays a future eviction.
+			r.locks.unlock(e.Hash)
 		}
 	}
 }

@@ -140,6 +140,21 @@ func (s *shard) peekOldest(spare Hash) (*Entry, int64, bool) {
 	return se.e, se.stamp, true
 }
 
+// stampOf returns h's current recency stamp without refreshing it. The
+// eviction cycle calls it after acquiring the victim's key lock to
+// confirm the peeked entry is still resident and untouched before
+// paying for the spill write; stamps are globally unique per touch, so
+// an equal stamp proves nothing happened to the entry in between.
+func (s *shard) stampOf(h Hash) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[h]
+	if !ok {
+		return 0, false
+	}
+	return el.Value.(*shardEntry).stamp, true
+}
+
 // evictIfUnchanged evicts h only if its recency stamp still equals the
 // stamp observed at peek time — a compare-and-evict. A stamp mismatch
 // means a concurrent Get touched the entry (it is no longer LRU; keep

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/faultfs"
@@ -383,6 +385,89 @@ func TestSpillReadErrorIsCountedMiss(t *testing.T) {
 		t.Error("EIO read not counted in load_errors")
 	}
 	_ = hashes
+}
+
+// TestConcurrentEvictorsNeverLoseData: concurrent Registers over a
+// tight budget run budget enforcement from several goroutines at once.
+// Each victim's spill-then-evict cycle holds the hash's key lock, so
+// two evictors can never double-peek one victim and have the loser —
+// finding the entry already evicted — delete the spill file the winner
+// just wrote. The observable property: no dataset is ever silently
+// lost; every registered hash stays retrievable from some tier.
+func TestConcurrentEvictorsNeverLoseData(t *testing.T) {
+	r, _ := spilledRegistry(t, 1024, 0, nil)
+	const workers, each = 8, 16
+	hashes := make([][]Hash, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				e, _, err := r.Register(uniqueCSV(w*each+i), dataset.CSVOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				hashes[w] = append(hashes[w], e.Hash)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Evictions == 0 {
+		t.Fatal("budget produced no evictions; test needs a tighter budget")
+	}
+	for w := range hashes {
+		for i, h := range hashes[w] {
+			if _, ok := r.Get(h); !ok {
+				t.Fatalf("worker %d dataset %d (%s) lost under concurrent eviction", w, i, h)
+			}
+		}
+	}
+}
+
+// TestRemoveDuringPromotionStaysRemoved: a Remove that lands in the
+// middle of a disk promotion must still be total. The injected read
+// latency holds the promotion open while Remove arrives; the per-hash
+// lock makes Remove wait for the promotion and then delete its result,
+// instead of letting the promotion re-insert a dataset whose deletion
+// was already acknowledged.
+func TestRemoveDuringPromotionStaysRemoved(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS(), 1)
+	inj.Inject(faultfs.Fault{Op: faultfs.OpReadFile, Path: SpillExt, Times: -1, Delay: 50 * time.Millisecond})
+	// A 1-byte budget evicts everything except the newest insert, so
+	// after the second Register the first dataset lives on disk only.
+	r, sp := spilledRegistry(t, 1, 0, inj)
+	a, _, err := r.Register(uniqueCSV(0), dataset.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Register(uniqueCSV(1), dataset.CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(spillFiles(t, sp.Dir())) == 0 {
+		t.Fatal("setup: nothing spilled")
+	}
+
+	promoted := make(chan struct{})
+	go func() {
+		defer close(promoted)
+		r.Get(a.Hash) // promotion, held open by the injected read latency
+	}()
+	time.Sleep(10 * time.Millisecond) // let the promotion reach the slow read
+	if !r.Remove(a.Hash) {
+		t.Error("Remove = false for a dataset resident on disk")
+	}
+	<-promoted
+
+	if _, ok := r.Get(a.Hash); ok {
+		t.Fatal("dataset re-materialized after Remove raced a promotion")
+	}
+	for _, h := range spillFiles(t, sp.Dir()) {
+		if h == a.Hash {
+			t.Fatal("spill file survives a Remove that raced a promotion")
+		}
+	}
 }
 
 // TestNoSpillBehaviorUnchanged pins that a registry without a spill

@@ -212,6 +212,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := job.Result()
+	fromMemory := err == nil
 	switch {
 	case errors.Is(err, jobs.ErrNoResult):
 		// The job was recovered from the store, so the full in-memory
@@ -241,6 +242,11 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if fromMemory {
+		// The full result never left memory — the ladder's top rung.
+		// Counted at render time so a bad format override is not a serve.
+		s.memoryHits.Add(1)
 	}
 	s.render(w, res, req)
 }
@@ -307,10 +313,13 @@ type statszJSON struct {
 }
 
 // ladderJSON counts how often each rung of the graceful-degradation
-// ladder actually served: memory hits and disk loads come from the
-// registry tiers, rehydrations re-mined a full result after a restart,
-// degraded served the durable summary only, and gone is the bottom —
-// HTTP 410, nothing survived.
+// ladder actually served: memory hits are results served straight from
+// the in-memory job result (a dedicated server counter — the registry's
+// hit counter moves on every dataset lookup and is not comparable to
+// the rungs below), disk loads come from the registry's spill tier,
+// rehydrations re-mined a full result after a restart, degraded served
+// the durable summary only, and gone is the bottom — HTTP 410, nothing
+// survived.
 type ladderJSON struct {
 	MemoryHits  int64 `json:"memory_hits"`
 	DiskLoads   int64 `json:"disk_loads"`
@@ -324,7 +333,7 @@ type ladderJSON struct {
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	js, ds := s.engine.Stats(), s.reg.Stats()
 	ladder := ladderJSON{
-		MemoryHits: ds.Hits,
+		MemoryHits: s.memoryHits.Load(),
 		Rehydrated: js.Rehydrated,
 		Degraded:   s.degraded.Load(),
 		Gone:       s.gone.Load(),

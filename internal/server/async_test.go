@@ -153,6 +153,13 @@ func TestJobEndToEndCacheHit(t *testing.T) {
 	if stats.Datasets.Hits < 1 {
 		t.Errorf("dataset registry hits = %d, want >= 1", stats.Datasets.Hits)
 	}
+	// memory_hits counts results served from the in-memory job result —
+	// exactly the two GET .../result calls above, not the registry's
+	// lookup traffic (which the Datasets.Hits assertion shows is moving
+	// on its own schedule).
+	if stats.Ladder.MemoryHits != 2 {
+		t.Errorf("ladder memory_hits = %d, want 2 (one per result serve)", stats.Ladder.MemoryHits)
+	}
 	if stats.Jobs.Completed != 2 {
 		t.Errorf("completed = %d, want 2", stats.Jobs.Completed)
 	}

@@ -100,10 +100,15 @@ type Server struct {
 	reg     *registry.Registry
 	engine  *jobs.Engine
 
-	// Degradation-ladder counters for /statsz: results served as a
-	// durable summary only, and results answered 410 Gone.
-	degraded atomic.Int64
-	gone     atomic.Int64
+	// Degradation-ladder counters for /statsz: results served straight
+	// from the in-memory job result (the top rung), results served as a
+	// durable summary only, and results answered 410 Gone. All three
+	// count /jobs/{id}/result serves specifically — the registry's own
+	// hit counter moves on every dataset lookup (uploads, GET /datasets,
+	// submissions) and would not be comparable to the other rungs.
+	memoryHits atomic.Int64
+	degraded   atomic.Int64
+	gone       atomic.Int64
 }
 
 // New builds a server, creating a default registry and engine for any
