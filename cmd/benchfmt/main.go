@@ -1,0 +1,49 @@
+// Command benchfmt converts `go test -bench` output on stdin into the
+// canonical divex-bench/v1 JSON snapshot on stdout (or -out). It is the
+// formatting half of scripts/bench.sh:
+//
+//	go test -run=NONE -bench ... -benchmem ./... | go run ./cmd/benchfmt -date 2026-08-08 -out BENCH_2026-08-08.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	date := flag.String("date", "", "snapshot date (YYYY-MM-DD); defaults to today")
+	out := flag.String("out", "", "output file; defaults to stdout")
+	flag.Parse()
+
+	d := *date
+	if d == "" {
+		d = time.Now().Format("2006-01-02")
+	}
+	rep, err := benchfmt.Parse(os.Stdin, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.Write(w, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchfmt: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	}
+}

@@ -63,6 +63,12 @@ type Pass struct {
 	Files []*ast.File
 	Info  *types.Info
 
+	// Facts is the module-wide fact base (call graph, lint:hot closure,
+	// atomic-access sites) shared by every pass of a run. Analyzers that
+	// need no cross-package facts ignore it; it is nil only when a Pass
+	// is constructed by hand outside the Suite.
+	Facts *Facts
+
 	analyzer Analyzer
 	report   func(Diagnostic)
 }

@@ -70,6 +70,10 @@ func TestFixtureDiagnostics(t *testing.T) {
 		{"internal/libprint", true},
 		{"goleak", true},
 		{"errwrap", true},
+		{"hotalloc", true},
+		{"internal/ctxflow", true},
+		{"atomicmix", true},
+		{"stale", true},
 		{"suppress", true},
 		{"clean", false},
 	}
@@ -114,18 +118,33 @@ func TestFormatJSONEmpty(t *testing.T) {
 // TestSuppressionSemantics asserts the load-bearing properties of
 // lint:ignore handling directly, independent of the golden file: the
 // wrong-analyzer case survives, the missing-reason case is reported as
-// malformed, and properly suppressed lines are absent.
+// malformed, properly suppressed lines are absent, and directives (or
+// names within multi-name directives) that suppress nothing are
+// reported as stale.
 func TestSuppressionSemantics(t *testing.T) {
 	suite := fixtureSuite(t)
 	diags := runFixture(t, suite, "suppress")
 	var analyzers []string
+	stale := 0
 	for _, d := range diags {
 		analyzers = append(analyzers, d.Analyzer)
 		if d.Analyzer == "floatcmp" && d.Line < 20 {
 			t.Errorf("suppressed finding leaked through: %s", d)
 		}
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "stale suppression") {
+			stale++
+			if !strings.Contains(d.Message, "errcheck") {
+				t.Errorf("unexpected stale analyzer in %s", d)
+			}
+		}
 	}
-	want := []string{"floatcmp", "lint", "floatcmp"}
+	// The errcheck half of the multi-name directive and the wrong-name
+	// directive are both dead: two stale reports. The used floatcmp
+	// directives must produce none.
+	if stale != 2 {
+		t.Errorf("stale reports = %d, want 2 (diags: %v)", stale, diags)
+	}
+	want := []string{"lint", "lint", "floatcmp", "lint", "floatcmp"}
 	if strings.Join(analyzers, ",") != strings.Join(want, ",") {
 		t.Errorf("analyzers = %v, want %v (diags: %v)", analyzers, want, diags)
 	}

@@ -16,9 +16,9 @@ import (
 // analyzer looks through same-package function bodies; for callees
 // defined elsewhere it falls back to the signature.
 //
-// The check is a heuristic. A goroutine that provably terminates on its
-// own (a bounded loop doing pure computation) should carry a
-// lint:ignore goleak directive saying why it cannot leak.
+// The check is a heuristic. A goroutine that provably terminates on
+// its own (a bounded loop doing pure computation) should carry a
+// goleak lint:ignore directive saying why it cannot leak.
 type GoLeak struct{}
 
 // Name implements Analyzer.

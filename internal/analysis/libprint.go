@@ -11,8 +11,8 @@ import (
 // and the panic builtin. Library code must return errors and write to
 // injected io.Writers; terminating the process or printing to stdout is
 // reserved for cmd/ drivers and generated reports. Invariant-violation
-// panics that are part of a function's documented contract must carry a
-// lint:ignore libprint directive stating the invariant.
+// panics that are part of a function's documented contract must carry
+// a libprint lint:ignore directive stating the invariant.
 type LibPrint struct{}
 
 // Name implements Analyzer.

@@ -172,6 +172,23 @@ func (l *Loader) load(path, dir, rel string) (*Package, error) {
 	return pkg, nil
 }
 
+// ModulePackages returns every module package this loader has parsed so
+// far — the analyzed packages plus their module-internal import closure
+// — in deterministic import-path order. The facts engine builds its
+// call graph over exactly this set.
+func (l *Loader) ModulePackages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, path := range paths {
+		out[i] = l.pkgs[path]
+	}
+	return out
+}
+
 // Import implements types.Importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.ImportFrom(path, l.ModuleDir, 0)

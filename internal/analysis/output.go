@@ -30,9 +30,11 @@ func SortDiagnostics(diags []Diagnostic) {
 }
 
 // Format writes diagnostics in the conventional compiler style,
-// one "file:line:col: [analyzer] message" per line.
+// one "file:line:col: [analyzer] message" per line. The input is
+// re-sorted (on a copy) before emission, so output is deterministic
+// regardless of how the caller assembled the slice.
 func Format(w io.Writer, diags []Diagnostic) error {
-	for _, d := range diags {
+	for _, d := range sortedCopy(diags) {
 		if _, err := fmt.Fprintln(w, d.String()); err != nil {
 			return err
 		}
@@ -42,11 +44,20 @@ func Format(w io.Writer, diags []Diagnostic) error {
 
 // FormatJSON writes diagnostics as an indented JSON array (an empty array,
 // not null, when there are no findings) for machine consumption by CI.
+// Like Format, the emitted order is always the canonical sort order —
+// CI diffs and golden files must never depend on analyzer scheduling.
 func FormatJSON(w io.Writer, diags []Diagnostic) error {
-	if diags == nil {
-		diags = []Diagnostic{}
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(diags)
+	return enc.Encode(sortedCopy(diags))
+}
+
+// sortedCopy returns the diagnostics in canonical order without
+// mutating the caller's slice. A nil input becomes an empty, non-nil
+// slice so JSON output is [] rather than null.
+func sortedCopy(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	copy(out, diags)
+	SortDiagnostics(out)
+	return out
 }

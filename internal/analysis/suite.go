@@ -12,6 +12,9 @@ func DefaultAnalyzers() []Analyzer {
 		LibPrint{},
 		GoLeak{},
 		ErrWrap{},
+		HotAlloc{},
+		CtxFlow{},
+		AtomicMix{},
 	}
 }
 
@@ -31,11 +34,18 @@ func NewSuite(moduleDir string) (*Suite, error) {
 	return &Suite{Loader: l, Analyzers: DefaultAnalyzers()}, nil
 }
 
-// RunDirs loads every directory as a package, runs all analyzers, applies
-// lint:ignore suppressions, and returns the surviving diagnostics in
-// deterministic order. Duplicate directories are analyzed once.
+// RunDirs loads every directory as a package, builds the module-wide
+// fact base (call graph, lint:hot closure, atomic-access sites) over
+// everything that got loaded, runs all analyzers, applies lint:ignore
+// suppressions, audits the suppressions for staleness, and returns the
+// surviving diagnostics in deterministic order. Duplicate directories
+// are analyzed once.
+//
+// Loading happens in full before any analyzer runs: the facts engine
+// must see every package of the run, or the hot closure and the
+// atomic-access map would depend on analysis order.
 func (s *Suite) RunDirs(dirs []string) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	var pkgs []*Package
 	seen := make(map[string]bool)
 	for _, dir := range dirs {
 		pkg, err := s.Loader.LoadDir(dir)
@@ -46,16 +56,34 @@ func (s *Suite) RunDirs(dirs []string) ([]Diagnostic, error) {
 			continue
 		}
 		seen[pkg.Path] = true
-		diags = append(diags, s.RunPackage(pkg)...)
+		pkgs = append(pkgs, pkg)
+	}
+	facts := BuildFacts(s.Loader.Fset, s.Loader.ModulePath, s.Loader.ModulePackages())
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, s.runPackage(pkg, facts)...)
 	}
 	SortDiagnostics(diags)
 	return diags, nil
 }
 
-// RunPackage runs every analyzer over one loaded package and filters the
-// findings through the package's lint:ignore directives. Malformed
-// directives are reported as diagnostics of the pseudo-analyzer "lint".
+// RunPackage runs every analyzer over one loaded package with facts
+// built from that package's import closure alone. RunDirs is the
+// normal entry point; this exists for callers that hold a single
+// package.
 func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
+	facts := BuildFacts(s.Loader.Fset, s.Loader.ModulePath, s.Loader.ModulePackages())
+	diags := s.runPackage(pkg, facts)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// runPackage runs every analyzer over one loaded package, filters the
+// findings through the package's lint:ignore directives, and audits the
+// directives: malformed ones and ones that suppressed nothing are
+// reported as diagnostics of the pseudo-analyzer "lint".
+func (s *Suite) runPackage(pkg *Package, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range s.Analyzers {
 		pass := &Pass{
@@ -64,6 +92,7 @@ func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
 			Pkg:      pkg.Types,
 			Files:    pkg.Files,
 			Info:     pkg.Info,
+			Facts:    facts,
 			analyzer: a,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 		}
@@ -76,5 +105,10 @@ func (s *Suite) RunPackage(pkg *Package) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	return append(kept, malformed...)
+	known := make(map[string]bool, len(s.Analyzers))
+	for _, a := range s.Analyzers {
+		known[a.Name()] = true
+	}
+	kept = append(kept, malformed...)
+	return append(kept, index.stale(known)...)
 }

@@ -12,21 +12,58 @@ import (
 //
 // The directive applies to diagnostics on its own line (trailing comment)
 // and on the line immediately below (standalone comment above the
-// offending statement). The reason is mandatory: a directive without one
+// offending statement). Placed in a function's doc comment, it instead
+// covers the whole function — the declaration form, for functions whose
+// entire purpose is the exempted behavior (a pool's growth path, a
+// state constructor). The reason is mandatory: a directive without one
 // is itself reported as a malformed-suppression diagnostic, so every
 // silenced finding carries a recorded justification.
+//
+// Suppressions are audited for staleness: a directive (or one analyzer
+// name within a multi-name directive) that suppressed no finding during
+// the run is reported by the "lint" pseudo-analyzer. Justifications rot
+// when the code under them changes; the audit forces dead directives out
+// of the tree instead of letting them imply invariants that no longer
+// hold.
 const ignoreDirective = "lint:ignore"
 
-// suppressionIndex maps file -> line -> set of suppressed analyzer names.
-type suppressionIndex map[string]map[int]map[string]bool
+// suppression is one parsed lint:ignore directive.
+type suppression struct {
+	file  string
+	line  int
+	col   int
+	decl  bool // sits in a function doc comment: covers the whole function
+	names []string
+	used  map[string]bool
+}
+
+// suppressionIndex holds every directive of a package, addressable by
+// the two lines each directive covers.
+type suppressionIndex struct {
+	directives []*suppression
+	byLine     map[string]map[int][]*suppression
+}
 
 // collectSuppressions scans the comments of files for lint:ignore
 // directives. It returns the suppression index plus diagnostics for any
 // malformed directives (missing analyzer list or missing reason).
-func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
-	index := make(suppressionIndex)
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (*suppressionIndex, []Diagnostic) {
+	index := &suppressionIndex{byLine: make(map[string]map[int][]*suppression)}
 	var malformed []Diagnostic
 	for _, f := range files {
+		// Map each doc comment to the line extent of the function it
+		// documents, for the declaration form of the directive.
+		declExtent := make(map[*ast.Comment][2]int)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			extent := [2]int{fset.Position(fd.Pos()).Line, fset.Position(fd.End()).Line}
+			for _, c := range fd.Doc.List {
+				declExtent[c] = extent
+			}
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
@@ -49,22 +86,30 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionInd
 					})
 					continue
 				}
-				byLine := index[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					index[pos.Filename] = byLine
+				s := &suppression{
+					file: pos.Filename,
+					line: pos.Line,
+					col:  pos.Column,
+					used: make(map[string]bool),
 				}
 				for _, name := range strings.Split(fields[0], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
+					if name = strings.TrimSpace(name); name != "" {
+						s.names = append(s.names, name)
 					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						if byLine[line] == nil {
-							byLine[line] = make(map[string]bool)
-						}
-						byLine[line][name] = true
-					}
+				}
+				index.directives = append(index.directives, s)
+				byLine := index.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*suppression)
+					index.byLine[pos.Filename] = byLine
+				}
+				from, to := pos.Line, pos.Line+1
+				if extent, ok := declExtent[c]; ok {
+					s.decl = true
+					from, to = extent[0], extent[1]
+				}
+				for line := from; line <= to; line++ {
+					byLine[line] = append(byLine[line], s)
 				}
 			}
 		}
@@ -72,15 +117,67 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionInd
 	return index, malformed
 }
 
-// suppressed reports whether d is covered by a lint:ignore directive.
-func (s suppressionIndex) suppressed(d Diagnostic) bool {
-	byLine, ok := s[d.File]
+// suppressed reports whether d is covered by a lint:ignore directive,
+// and records the directive (and name) that earned its keep.
+func (idx *suppressionIndex) suppressed(d Diagnostic) bool {
+	byLine, ok := idx.byLine[d.File]
 	if !ok {
 		return false
 	}
-	names, ok := byLine[d.Line]
-	if !ok {
+	hit := false
+	for _, s := range byLine[d.Line] {
+		for _, name := range s.names {
+			if name == d.Analyzer {
+				s.used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// stale reports every analyzer name in every directive that suppressed
+// nothing during this run. Placeholder names (anything that is not a
+// plausible analyzer identifier — analyzer names are single lower-case
+// words) are skipped so prose and documentation examples never trip the
+// audit.
+func (idx *suppressionIndex) stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range idx.directives {
+		for _, name := range s.names {
+			if s.used[name] || !plausibleAnalyzerName(name) {
+				continue
+			}
+			scope := "on this or the next line"
+			if s.decl {
+				scope = "in the function it documents"
+			}
+			msg := "stale suppression: lint:ignore " + name + " no longer suppresses any finding " + scope + "; delete it so the recorded justification cannot rot"
+			if !known[name] {
+				msg = "stale suppression: no analyzer named " + name + " is registered; fix the name or delete the directive"
+			}
+			out = append(out, Diagnostic{
+				File:     s.file,
+				Line:     s.line,
+				Col:      s.col,
+				Analyzer: "lint",
+				Message:  msg,
+			})
+		}
+	}
+	return out
+}
+
+// plausibleAnalyzerName reports whether name could be an analyzer name:
+// a non-empty, all-lower-case ASCII word.
+func plausibleAnalyzerName(name string) bool {
+	if name == "" {
 		return false
 	}
-	return names[d.Analyzer]
+	for _, r := range name {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
 }

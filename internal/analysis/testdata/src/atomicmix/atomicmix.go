@@ -1,0 +1,46 @@
+// Package atomicmix exercises the atomicmix analyzer: a variable whose
+// address reaches sync/atomic anywhere must never be read or written
+// plainly elsewhere. Composite-literal initialization and typed atomic
+// wrappers stay silent.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+	safe  atomic.Int64
+}
+
+// NewCounters initializes by composite literal: exempt (initialization
+// before publication).
+func NewCounters() *counters {
+	return &counters{hits: 0, drops: 0}
+}
+
+// Hit and Drop establish the atomic discipline for both fields.
+func (c *counters) Hit()  { atomic.AddInt64(&c.hits, 1) }
+func (c *counters) Drop() { atomic.AddInt64(&c.drops, 1) }
+
+// Snapshot reads hits plainly: flagged.
+func (c *counters) Snapshot() int64 {
+	return c.hits
+}
+
+// Reset writes drops plainly: flagged.
+func (c *counters) Reset() {
+	c.drops = 0
+}
+
+// Consistent reads through the atomic API and the typed wrapper: clean.
+func (c *counters) Consistent() int64 {
+	return atomic.LoadInt64(&c.hits) + atomic.LoadInt64(&c.drops) + c.safe.Load()
+}
+
+var flag uint32
+
+// Raise flips the package-level flag atomically.
+func Raise() { atomic.StoreUint32(&flag, 1) }
+
+// Raised reads it plainly: flagged.
+func Raised() bool { return flag == 1 }

@@ -1,0 +1,71 @@
+// Package ctxflow exercises the ctxflow analyzer: conjured contexts
+// are flagged anywhere in internal packages, exported functions that
+// call context-taking callees (or blocking stdlib I/O) without
+// accepting a context are flagged, and contexts derived from the
+// function's own parameters are recognized as proper threading.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Conjured builds its own root context: flagged.
+func Conjured() error {
+	return work(context.Background())
+}
+
+// conjuredHelper shows rule 1 applies to unexported functions too.
+func conjuredHelper() error {
+	return work(context.TODO())
+}
+
+// Store keeps a context in a field — the storage antipattern.
+type Store struct {
+	ctx context.Context
+}
+
+// Stored calls a context-taking callee with the stored field: flagged.
+func (s *Store) Stored() error {
+	return work(s.ctx)
+}
+
+// Threaded accepts and threads the caller's context: clean.
+func Threaded(ctx context.Context) error {
+	return work(context.WithoutCancel(ctx))
+}
+
+// Request mimics *http.Request: a parameter that can derive a context.
+type Request struct {
+	ctx context.Context
+}
+
+// Context returns the request-scoped context.
+func (r *Request) Context() context.Context { return r.ctx }
+
+// Derived threads a context derived from its own parameter: clean.
+func Derived(r *Request) error {
+	return work(r.Context())
+}
+
+// Blocking sleeps without giving its caller a way to cancel: flagged.
+func Blocking() {
+	time.Sleep(time.Millisecond)
+}
+
+// BlockingCtx shows the fix for Blocking: accept a context and use a
+// cancelable wait.
+func BlockingCtx(ctx context.Context) error {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var _ = conjuredHelper

@@ -1,0 +1,38 @@
+// Package stale exercises the stale-suppression audit: a directive that
+// suppressed a finding once but whose code has since been fixed is
+// itself reported, as is a directive naming an unregistered analyzer.
+package stale
+
+// live still suppresses a real floatcmp finding: no audit report.
+func live(a, b float64) bool {
+	// lint:ignore floatcmp fixture: exactness is deliberate here
+	return a == b
+}
+
+// dead carries a justification whose finding was fixed (the operands
+// became ints): the directive is reported as stale.
+func dead(a, b int) bool {
+	// lint:ignore floatcmp fixture: this comparison used to be on floats
+	return a == b
+}
+
+// typo misspells the analyzer: the floatcmp finding survives and the
+// directive is reported as naming an unknown analyzer.
+func typo(a, b float64) bool {
+	// lint:ignore floatcmpx fixture: misspelled analyzer name
+	return a == b
+}
+
+// deadDecl carries the declaration form of a directive whose findings
+// were all fixed (no float comparison remains anywhere in the body):
+// the whole-function directive is reported stale too.
+//
+// lint:ignore floatcmp fixture: this function used to compare floats throughout
+func deadDecl(a, b int) bool {
+	if a > b {
+		return false
+	}
+	return a == b
+}
+
+var _, _, _, _ = live, dead, typo, deadDecl

@@ -1,0 +1,120 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMineFPGrowthCompas-8   	     244	   4889021 ns/op	 3094016 B/op	   22481 allocs/op
+PASS
+ok  	repro	2.1s
+goos: linux
+goarch: amd64
+pkg: repro/internal/registry
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRegistryRegister/fresh         	  150000	      7638 ns/op
+BenchmarkRegistryRegister/dedup         	 3500000	       339.3 ns/op
+BenchmarkRegistryGetDiskFallthrough/memory-hit-8 	 9000000	       133.5 ns/op	      24 B/op	       1 allocs/op
+PASS
+ok  	repro/internal/registry	4.0s
+`
+
+func TestParseMultiPackage(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput), "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.Date != "2026-08-08" {
+		t.Errorf("header = %q/%q, want %q/2026-08-08", rep.Schema, rep.Date, Schema)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("environment header not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	// Canonical order: package, then name.
+	first := rep.Benchmarks[0]
+	if first.Package != "repro" || first.Name != "MineFPGrowthCompas" {
+		t.Errorf("first benchmark = %s %s, want repro MineFPGrowthCompas", first.Package, first.Name)
+	}
+	if first.Procs != 8 || first.Iterations != 244 || first.NsPerOp != 4889021 ||
+		first.BytesPerOp != 3094016 || first.AllocsPerOp != 22481 {
+		t.Errorf("measurements mis-parsed: %+v", first)
+	}
+
+	// Without -benchmem the memory columns are explicit absences, and a
+	// suffix-free name (GOMAXPROCS=1) parses with procs 1.
+	for _, b := range rep.Benchmarks {
+		if b.Name == "RegistryRegister/dedup" {
+			if b.Procs != 1 || b.NsPerOp != 339.3 || b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+				t.Errorf("dedup arm mis-parsed: %+v", b)
+			}
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  \trepro\t1.0s\n"), "2026-08-08"); err == nil {
+		t.Error("want error for input with no benchmark lines")
+	}
+}
+
+// TestWriteDeterministic pins the committed-bytes contract: same input,
+// same output, ending in exactly one newline, with benchmarks sorted
+// regardless of input order.
+func TestWriteDeterministic(t *testing.T) {
+	shuffled := `pkg: z/pkg
+BenchmarkZeta-2 	 100	 10 ns/op
+pkg: a/pkg
+BenchmarkBeta-2 	 100	 20 ns/op
+BenchmarkAlpha-2 	 100	 30 ns/op
+`
+	rep, err := Parse(strings.NewReader(shuffled), "2026-08-08")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 strings.Builder
+	if err := Write(&w1, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&w2, rep); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Error("two writes of one report differ")
+	}
+	if !strings.HasSuffix(w1.String(), "}\n") || strings.HasSuffix(w1.String(), "\n\n") {
+		t.Errorf("output must end in exactly one newline, got %q tail", w1.String()[len(w1.String())-3:])
+	}
+	order := []string{"Alpha", "Beta", "Zeta"}
+	for i, b := range rep.Benchmarks {
+		if b.Name != order[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, b.Name, order[i])
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"Mine-8", "Mine", 8},
+		{"Mine", "Mine", 1},
+		{"Registry/disk-fallthrough", "Registry/disk-fallthrough", 1},
+		{"Registry/disk-fallthrough-16", "Registry/disk-fallthrough", 16},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d, want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -41,6 +41,7 @@ type Options struct {
 // Explore runs Algorithm 1: mine all itemsets with support >= minSup and
 // collect their outcome tallies.
 func Explore(db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
+	// lint:ignore ctxflow Explore is the documented no-cancellation compatibility shim over ExploreContext; cancelable callers use ExploreContext directly
 	return ExploreContext(context.Background(), db, minSup, opts)
 }
 
@@ -49,6 +50,8 @@ func Explore(db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
 // mine at the next tree-recursion boundary and the error wraps ctx.Err().
 // The async job engine and the HTTP server use this so canceled jobs and
 // disconnected clients stop burning CPU.
+//
+// lint:hot
 func ExploreContext(ctx context.Context, db *fpm.TxDB, minSup float64, opts Options) (*Result, error) {
 	if minSup < 0 || minSup > 1 {
 		return nil, fmt.Errorf("core: support threshold %v out of [0,1]", minSup)

@@ -104,6 +104,7 @@ func Retry(attempts int, base time.Duration, op func() error) error {
 			return err
 		}
 		if i < attempts-1 && base > 0 {
+			// lint:ignore ctxflow bounded backoff (attempts*base is milliseconds total) on crash-safety paths; callers must finish the write even during shutdown
 			time.Sleep(base << uint(i))
 		}
 	}

@@ -1,8 +1,8 @@
 package fpm
 
 import (
+	"context"
 	"fmt"
-	"sort"
 )
 
 // Visitor receives one frequent pattern during a streaming mine. The
@@ -21,6 +21,21 @@ type StreamMiner interface {
 	MineVisit(db *TxDB, minCount int64, visit Visitor) error
 }
 
+// visitorSink adapts a Visitor to the mining core's patternSink: the
+// borrowed suffix-stack slice is copied into one reused scratch buffer
+// and sorted, so the whole stream costs a single pattern-sized buffer.
+type visitorSink struct {
+	visit   Visitor
+	scratch Itemset
+}
+
+// emit implements patternSink.
+func (v *visitorSink) emit(items Itemset, t Tally) error {
+	v.scratch = append(v.scratch[:0], items...)
+	sortItems(v.scratch)
+	return v.visit(FrequentPattern{Items: v.scratch, Tally: t})
+}
+
 // MineVisit implements StreamMiner for FP-growth.
 func (FPGrowth) MineVisit(db *TxDB, minCount int64, visit Visitor) error {
 	if minCount < 1 {
@@ -29,66 +44,11 @@ func (FPGrowth) MineVisit(db *TxDB, minCount int64, visit Visitor) error {
 	if visit == nil {
 		return fmt.Errorf("fpm: nil visitor")
 	}
-	tree, err := buildInitialTree(db, minCount)
-	if err != nil {
-		return err
-	}
-	if len(tree.totals) == 0 {
-		return nil
-	}
-	items := make([]Item, 0, len(tree.totals))
-	for it := range tree.totals {
-		items = append(items, it)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	buf := make(Itemset, 0, db.Catalog.NumAttrs())
-	for _, it := range items {
-		if err := visitTree(tree, it, nil, minCount, buf, visit); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// visitTree mines the subproblem of item it within tree, with suffix
-// pattern suffix, streaming every pattern to visit.
-func visitTree(t *fpTree, it Item, suffix Itemset, minCount int64, buf Itemset, visit Visitor) error {
-	pattern := append(append(buf[:0], suffix...), it)
-	sorted := pattern.Sorted()
-	if err := visit(FrequentPattern{Items: sorted, Tally: t.totals[it]}); err != nil {
-		return err
-	}
-	var base []weightedTx
-	for n := t.headers[it]; n != nil; n = n.hlink {
-		var path []Item
-		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
-			path = append(path, p.item)
-		}
-		if len(path) == 0 {
-			continue
-		}
-		base = append(base, weightedTx{items: path, w: n.tally})
-	}
-	if len(base) == 0 {
-		return nil
-	}
-	cond := buildTree(base, minCount, t.order)
-	if len(cond.totals) == 0 {
-		return nil
-	}
-	next := append(suffix.Clone(), it)
-	condItems := make([]Item, 0, len(cond.totals))
-	for ci := range cond.totals {
-		condItems = append(condItems, ci)
-	}
-	sort.Slice(condItems, func(i, j int) bool { return condItems[i] < condItems[j] })
-	inner := make(Itemset, 0, cap(buf))
-	for _, ci := range condItems {
-		if err := visitTree(cond, ci, next, minCount, inner, visit); err != nil {
-			return err
-		}
-	}
-	return nil
+	s := newMineState(db.Catalog.NumItems(), db.Catalog.NumAttrs())
+	root := s.buildRoot(db, minCount)
+	sink := visitorSink{visit: visit}
+	// lint:ignore ctxflow StreamMiner's abort mechanism is the visitor's error return; the interface predates contexts and the conjured root context is never canceled
+	return s.mineAll(context.Background(), root, 1, minCount, &sink)
 }
 
 // CountFrequent streams a mine and returns only the number of frequent

@@ -123,6 +123,7 @@ func New(cfg Config) (*Engine, error) {
 	if analyze == nil {
 		analyze = RunAnalysis
 	}
+	// lint:ignore ctxflow the engine root context outlives any caller request; it is canceled by Engine.Close, not by whoever happened to construct the engine
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:        cfg,

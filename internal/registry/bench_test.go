@@ -96,6 +96,46 @@ func BenchmarkRegistryGetDiskFallthrough(b *testing.B) {
 	})
 }
 
+// BenchmarkRegistryRegister prices registration's two rungs: a fresh
+// dataset (canonicalize, hash, parse, shard insert) versus the dedup
+// fast path (canonicalize, hash, shard hit). The fresh arm cycles a
+// fixed pool of unique CSVs and evicts each entry right after inserting
+// it so the registry stays small at any b.N; the in-loop shard-map
+// delete is bookkeeping noise next to the measured parse+hash. Wired
+// into the verify.sh benchmark-smoke tier and the scripts/bench.sh
+// perf-trajectory snapshot.
+func BenchmarkRegistryRegister(b *testing.B) {
+	const pool = 512
+	b.Run("fresh", func(b *testing.B) {
+		csvs := make([][]byte, pool)
+		for i := range csvs {
+			csvs[i] = uniqueCSV(i)
+		}
+		r := NewSharded(0, 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, _, err := r.Register(csvs[i%pool], dataset.CSVOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.shardFor(e.Hash).remove(e.Hash)
+		}
+	})
+	b.Run("dedup", func(b *testing.B) {
+		r := NewSharded(0, 16)
+		csv := uniqueCSV(0)
+		if _, _, err := r.Register(csv, dataset.CSVOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.Register(csv, dataset.CSVOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRegistryParallelMixed adds registration traffic (90% Get /
 // 10% Register of an already-resident dataset) — the dedup fast path
 // also takes the shard lock, so this is the contention profile of a

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate the committed perf-trajectory snapshot.
+#
+# Runs the three perf-critical benchmark families with -benchmem —
+#
+#   BenchmarkMineFPGrowthCompas          the sequential conditional-tree
+#                                        mine (the hotalloc-guarded path)
+#   BenchmarkRegistryRegister            fresh vs dedup registration
+#   BenchmarkRegistryGetDiskFallthrough  memory hit vs spill reload
+#
+# — and writes them as BENCH_<date>.json (schema divex-bench/v1, see
+# internal/benchfmt) in the repository root. Committing the file after a
+# perf-relevant change extends the trajectory README.md plots; an
+# unchanged workload regenerates byte-identical JSON apart from the
+# measured numbers.
+#
+# Environment:
+#   BENCH_DATE    override the snapshot date (YYYY-MM-DD; default today)
+#   BENCH_TIME    override -benchtime (default 1s)
+#
+# verify.sh runs this as an opt-in tier when DIVEX_BENCH=1 is exported;
+# the default gate only smoke-runs benchmarks for one iteration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+date="${BENCH_DATE:-$(date +%F)}"
+benchtime="${BENCH_TIME:-1s}"
+out="BENCH_${date}.json"
+
+echo "==> benchmarks (-benchtime ${benchtime}, -benchmem)"
+{
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^BenchmarkMineFPGrowthCompas$' .
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^(BenchmarkRegistryRegister|BenchmarkRegistryGetDiskFallthrough)$' ./internal/registry
+} | tee /dev/stderr | go run ./cmd/benchfmt -date "${date}" -out "${out}"
+
+echo "bench: snapshot written to ${out}"

@@ -6,8 +6,10 @@
 #   2. go vet ./...                the stock vet analyzers
 #   3. go run ./cmd/divlint ./...  the project-invariant suite
 #                                  (floatcmp, errcheck, lockcopy,
-#                                  maporder, libprint, goleak, errwrap;
-#                                  see DESIGN.md)
+#                                  maporder, libprint, goleak, errwrap,
+#                                  hotalloc, ctxflow, atomicmix, plus
+#                                  the stale-suppression audit; see
+#                                  DESIGN.md §8)
 #   4. go test -race ./...         all tests under the race detector;
 #                                  the Parallel-vs-FPGrowth stress test
 #                                  is this tier's primary target
@@ -41,6 +43,13 @@
 #   9. benchmark smoke             every benchmark once, so a bench that
 #                                  panics or no longer compiles fails
 #                                  the gate, not the next perf session
+#  10. perf snapshot (opt-in)      with DIVEX_BENCH=1, scripts/bench.sh
+#                                  re-measures the mine / register /
+#                                  disk-fallthrough benchmarks and
+#                                  rewrites BENCH_<date>.json — the
+#                                  perf-trajectory artifact. Off by
+#                                  default: real measurements need a
+#                                  quiet machine, not a CI neighbor
 #
 # Exits non-zero on the first failing step. CI runs exactly this script.
 set -euo pipefail
@@ -75,5 +84,10 @@ go test -cover ./internal/jobs ./internal/fpm | awk '{print "    " $0}'
 
 echo "==> benchmark smoke (one iteration each)"
 go test -run=NONE -bench=. -benchtime=1x ./...
+
+if [[ -n "${DIVEX_BENCH:-}" ]]; then
+    echo "==> perf snapshot (DIVEX_BENCH set)"
+    ./scripts/bench.sh
+fi
 
 echo "verify: all gates passed"
