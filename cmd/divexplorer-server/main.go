@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/monitor"
 	"repro/internal/registry"
 	"repro/internal/server"
 )
@@ -56,6 +57,10 @@ func main() {
 			"directory for the dataset disk-spill tier; empty evicts to nowhere (datasets are lost on eviction)")
 		spillBudget = flag.Int64("spill-budget-bytes", 0,
 			"disk byte budget for spilled datasets (0 = unlimited); oldest spill files are evicted first")
+		monitorQueue = flag.Int("monitor-queue", 64,
+			"per-monitor ingest buffer in batches before ingest gets HTTP 429")
+		maxMonitors = flag.Int("max-monitors", 32,
+			"max concurrently live streaming monitors")
 	)
 	flag.Parse()
 
@@ -94,10 +99,21 @@ func main() {
 		}
 		log.Printf("job store %s attached (%d jobs recovered)", *storeDir, n)
 	}
+	monitors := monitor.NewManager(monitor.Config{
+		QueueDepth:  *monitorQueue,
+		MaxMonitors: *maxMonitors,
+		Store:       engine.Store(), // nil without -store-dir: monitors stay ephemeral
+	})
+	if n, err := monitors.Recover(); err != nil {
+		log.Printf("monitor recovery: %v (%d monitors restored)", err, n)
+	} else if n > 0 {
+		log.Printf("%d streaming monitors recovered (windows restart empty)", n)
+	}
 	api, err := server.New(server.Options{
 		MaxBodyBytes: *maxBody,
 		Registry:     reg,
 		Engine:       engine,
+		Monitors:     monitors,
 	})
 	if err != nil {
 		log.Fatal(err)

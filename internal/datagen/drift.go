@@ -1,0 +1,238 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// DriftConfig shapes a Drift stream: a synthetic sequence of classifier
+// decision events whose false-positive rate shifts inside one planted
+// subgroup at a chosen event index — the deterministic input for
+// end-to-end change-detection tests and demos of the streaming monitor.
+type DriftConfig struct {
+	// Events is the stream length (required, >= 1).
+	Events int
+	// Attrs and Card shape the schema: Attrs categorical attributes named
+	// "attr0".."attrN-1", each with Card uniform values "aI_v0".."aI_vC-1"
+	// (defaults 3 and 3).
+	Attrs int
+	Card  int
+	// StartMs and StepMs lay the events out in event time: event i gets
+	// timestamp StartMs + i*StepMs (StepMs defaults to 10).
+	StartMs int64
+	StepMs  int64
+	// PosRate is P(truth = positive) everywhere (default 0.5).
+	PosRate float64
+	// BaseFPR and BaseTPR are the classifier's rates outside the shift
+	// (defaults 0.1 and 0.8).
+	BaseFPR float64
+	BaseTPR float64
+	// Subgroup maps attribute name to value name for the planted
+	// subgroup; an event belongs when every listed attribute matches
+	// (default {"attr0": "a0_v0"}).
+	Subgroup map[string]string
+	// ShiftAt is the event index where the subgroup's FPR jumps from
+	// BaseFPR to ShiftFPR (default 0.6). A ShiftAt at or past Events
+	// yields a no-drift control stream with identical schema and
+	// covariates.
+	ShiftAt  int
+	ShiftFPR float64
+}
+
+// DriftEvent is one decision event: an event-time timestamp, one value
+// per attribute (stream order), and the (truth, pred) outcome pair.
+type DriftEvent struct {
+	T     int64
+	Vals  []string
+	Truth bool
+	Pred  bool
+}
+
+// DriftStream is a generated event stream plus its schema.
+type DriftStream struct {
+	Name       string
+	AttrNames  []string
+	AttrValues [][]string // domain per attribute, generation order
+	Events     []DriftEvent
+}
+
+// Drift generates a seeded drifting decision stream. The same seed and
+// config always produce the same events, timestamps included.
+func Drift(seed int64, cfg DriftConfig) (*DriftStream, error) {
+	if cfg.Events < 1 {
+		return nil, fmt.Errorf("datagen: drift needs events >= 1, got %d", cfg.Events)
+	}
+	if cfg.Attrs == 0 {
+		cfg.Attrs = 3
+	}
+	if cfg.Card == 0 {
+		cfg.Card = 3
+	}
+	if cfg.Attrs < 1 || cfg.Card < 2 {
+		return nil, fmt.Errorf("datagen: bad drift shape (attrs %d, card %d)", cfg.Attrs, cfg.Card)
+	}
+	if cfg.StepMs == 0 {
+		cfg.StepMs = 10
+	}
+	if cfg.StepMs < 0 || cfg.StartMs < 0 {
+		return nil, fmt.Errorf("datagen: drift timestamps must be non-negative and increasing")
+	}
+	// lint:ignore floatcmp exact zero means "unset, take the default"
+	if cfg.PosRate == 0 {
+		cfg.PosRate = 0.5
+	}
+	// lint:ignore floatcmp exact zero means "unset, take the default"
+	if cfg.BaseFPR == 0 {
+		cfg.BaseFPR = 0.1
+	}
+	// lint:ignore floatcmp exact zero means "unset, take the default"
+	if cfg.BaseTPR == 0 {
+		cfg.BaseTPR = 0.8
+	}
+	// lint:ignore floatcmp exact zero means "unset, take the default"
+	if cfg.ShiftFPR == 0 {
+		cfg.ShiftFPR = 0.6
+	}
+	for _, p := range []float64{cfg.PosRate, cfg.BaseFPR, cfg.BaseTPR, cfg.ShiftFPR} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("datagen: drift probability %v out of [0,1]", p)
+		}
+	}
+	if cfg.Subgroup == nil {
+		cfg.Subgroup = map[string]string{"attr0": "a0_v0"}
+	}
+
+	names := make([]string, cfg.Attrs)
+	values := make([][]string, cfg.Attrs)
+	for a := 0; a < cfg.Attrs; a++ {
+		names[a] = "attr" + strconv.Itoa(a)
+		values[a] = make([]string, cfg.Card)
+		for v := 0; v < cfg.Card; v++ {
+			values[a][v] = fmt.Sprintf("a%d_v%d", a, v)
+		}
+	}
+
+	// Resolve the subgroup to (attribute index, value index) pairs.
+	type member struct{ attr, val int }
+	var members []member
+	for _, name := range sortedKeys(cfg.Subgroup) {
+		a := -1
+		for i, n := range names {
+			if n == name {
+				a = i
+				break
+			}
+		}
+		if a < 0 {
+			return nil, fmt.Errorf("datagen: drift subgroup names unknown attribute %q", name)
+		}
+		want := cfg.Subgroup[name]
+		v := -1
+		for i, val := range values[a] {
+			if val == want {
+				v = i
+				break
+			}
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("datagen: drift subgroup value %q not in attribute %q", want, name)
+		}
+		members = append(members, member{a, v})
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]DriftEvent, cfg.Events)
+	for i := range events {
+		vals := make([]string, cfg.Attrs)
+		codes := make([]int, cfg.Attrs)
+		for a := 0; a < cfg.Attrs; a++ {
+			codes[a] = rng.Intn(cfg.Card)
+			vals[a] = values[a][codes[a]]
+		}
+		in := true
+		for _, m := range members {
+			if codes[m.attr] != m.val {
+				in = false
+				break
+			}
+		}
+		truth := rng.Float64() < cfg.PosRate
+		var pred bool
+		if truth {
+			pred = rng.Float64() < cfg.BaseTPR
+		} else {
+			fpr := cfg.BaseFPR
+			if in && i >= cfg.ShiftAt {
+				fpr = cfg.ShiftFPR
+			}
+			pred = rng.Float64() < fpr
+		}
+		events[i] = DriftEvent{
+			T:     cfg.StartMs + int64(i)*cfg.StepMs,
+			Vals:  vals,
+			Truth: truth,
+			Pred:  pred,
+		}
+	}
+	return &DriftStream{
+		Name:       fmt.Sprintf("drift-%d", seed),
+		AttrNames:  names,
+		AttrValues: values,
+		Events:     events,
+	}, nil
+}
+
+// sortedKeys returns the map's keys in sorted order, so subgroup
+// resolution (and its error messages) are deterministic.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JSONLine renders event i in the monitor's wire format, one JSON object
+// with t, attrs, truth and pred.
+func (s *DriftStream) JSONLine(i int) []byte {
+	return s.Events[i].appendJSON(nil, s.AttrNames)
+}
+
+// Body renders the half-open event range [from, to) as a JSON-lines
+// ingest body.
+func (s *DriftStream) Body(from, to int) []byte {
+	var buf []byte
+	for i := from; i < to; i++ {
+		buf = s.Events[i].appendJSON(buf, s.AttrNames)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// appendJSON appends the event's wire JSON to buf. Attribute names and
+// values are generator-produced identifiers, so they embed without
+// escaping.
+func (e *DriftEvent) appendJSON(buf []byte, names []string) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = strconv.AppendInt(buf, e.T, 10)
+	buf = append(buf, `,"attrs":{`...)
+	for a, name := range names {
+		if a > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '"')
+		buf = append(buf, name...)
+		buf = append(buf, `":"`...)
+		buf = append(buf, e.Vals[a]...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `},"truth":`...)
+	buf = strconv.AppendBool(buf, e.Truth)
+	buf = append(buf, `,"pred":`...)
+	buf = strconv.AppendBool(buf, e.Pred)
+	buf = append(buf, '}')
+	return buf
+}

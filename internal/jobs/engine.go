@@ -146,6 +146,10 @@ func New(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// Store returns the attached write-ahead store, or nil when the engine
+// is not durable. The monitor subsystem shares it for spec durability.
+func (e *Engine) Store() *Store { return e.store.Load() }
+
 // worker consumes the queue until it is closed by Shutdown.
 func (e *Engine) worker() {
 	defer e.wg.Done()

@@ -49,6 +49,9 @@ func (e *Engine) RecoverFS(dir string, fsys faultfs.FS) (int, error) {
 	rejected := make(map[string]bool)
 	var order []string // log order, for deterministic re-mark records
 	for _, rec := range st.Replay() {
+		if rec.MonitorRecord() {
+			continue // monitor subsystem records; monitor.Manager.Recover folds them
+		}
 		j := jobsByID[rec.Job]
 		if j == nil {
 			j = &Job{id: rec.Job, state: StateQueued, created: rec.Time, recovered: true}

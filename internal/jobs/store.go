@@ -36,6 +36,17 @@ const (
 	RecCanceled = "canceled"
 )
 
+// Monitor record types. The streaming-monitor subsystem shares the job
+// WAL for spec durability: a created record carries the validated spec
+// (in Record.Monitor, with the monitor id in Record.Job), a deleted
+// record retires it. Both are fsynced before the client is acknowledged.
+// Job replay (Engine.RecoverFS) skips them; monitor.Manager.Recover
+// folds them.
+const (
+	RecMonitorCreated = "monitor_created"
+	RecMonitorDeleted = "monitor_deleted"
+)
+
 // storeVersion is the record format version written by this build.
 //
 //   - v1 (the original format): done records carried only the durable
@@ -61,6 +72,15 @@ type Record struct {
 	Result   *ResultSummary `json:"result,omitempty"`
 	Error    string         `json:"error,omitempty"`
 	CacheHit bool           `json:"cache_hit,omitempty"`
+	// Monitor carries the validated monitor spec on monitor_created
+	// records (opaque to this package; owned by internal/monitor).
+	Monitor json.RawMessage `json:"monitor,omitempty"`
+}
+
+// MonitorRecord reports whether the record belongs to the monitor
+// subsystem rather than the job lifecycle.
+func (r Record) MonitorRecord() bool {
+	return r.Type == RecMonitorCreated || r.Type == RecMonitorDeleted
 }
 
 // terminal reports whether the record closes a job's history. Terminal
@@ -265,7 +285,7 @@ func (s *Store) Append(rec Record) error {
 		}
 		return fmt.Errorf("jobs: appending store record: %w", err)
 	}
-	durable := rec.terminal() || rec.Type == RecSubmitted
+	durable := rec.terminal() || rec.Type == RecSubmitted || rec.MonitorRecord()
 	if durable {
 		if err := faultfs.Retry(storeRetries, storeBackoff, func() error { return s.f.Sync() }); err != nil {
 			// The bytes reached the file but not stable storage, so the

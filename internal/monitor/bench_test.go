@@ -1,0 +1,109 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// BenchmarkMonitorIngest measures the full ingest path — JSON-lines
+// parsing, queue handoff, and the worker folding events into the window —
+// in events per op (one op = one 100-event batch).
+func BenchmarkMonitorIngest(b *testing.B) {
+	s, err := datagen.Drift(1, datagen.DriftConfig{Events: 100, StepMs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := s.Body(0, 100)
+
+	mgr := NewManager(Config{QueueDepth: 256})
+	defer mgr.Close()
+	spec := driftSpec()
+	spec.Window.BucketMs = 100 // one advance per ingested body
+	m, err := mgr.Create(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			if _, err := m.Ingest(body); !errors.Is(err, ErrIngestBackpressure) {
+				break
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	awaitDrained(b, m)
+}
+
+func awaitDrained(b *testing.B, m *Monitor) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Counters().QueueLen == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatal("worker never drained")
+}
+
+// BenchmarkWindowAdvance measures the raw window engine: steady-state
+// ingest at a fixed per-bucket row count across window lengths. The
+// advance is O(bucket), so ns/op must stay flat as the window grows —
+// the acceptance criterion for the incremental design.
+func BenchmarkWindowAdvance(b *testing.B) {
+	const rowsPerBucket = 200
+	for _, buckets := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("win=%d", buckets), func(b *testing.B) {
+			spec := driftSpec()
+			spec.Window = WindowConfig{BucketMs: 100, Buckets: buckets}
+			vs, err := spec.Validate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := newWindow(vs)
+			rng := rand.New(rand.NewSource(9))
+			events := make([]Event, rowsPerBucket)
+			for i := range events {
+				events[i] = randomDriftEvent(rng)
+			}
+			// Prefill the full ring and mine once so the steady-state loop
+			// pays the real apply cost: total + per-item + tracked tallies.
+			tms := int64(0)
+			for f := 0; f < buckets; f++ {
+				for r := range events {
+					ev := events[r]
+					ev.T = tms
+					w.ingest(ev, nopEval{})
+				}
+				tms += vs.Window.BucketMs
+			}
+			if err := w.remine(w.minCount()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := events[i%rowsPerBucket]
+				ev.T = tms
+				w.ingest(ev, nopEval{})
+				if (i+1)%rowsPerBucket == 0 {
+					tms += vs.Window.BucketMs
+				}
+			}
+		})
+	}
+}
+
+// randomDriftEvent draws a valid event for the driftSpec schema.
+func randomDriftEvent(rng *rand.Rand) Event {
+	return Event{
+		Vals:  []uint8{uint8(rng.Intn(3)), uint8(rng.Intn(3)), uint8(rng.Intn(3))},
+		Class: uint8(rng.Intn(4)),
+	}
+}

@@ -1,0 +1,151 @@
+package monitor
+
+import "math"
+
+// AlertState is one subgroup's position in the alert lifecycle.
+//
+// The machine is ok → warning → firing → resolved → (ok | firing), with
+// hysteresis on both edges: firing requires FiringStreak consecutive
+// exceedances of the CUSUM threshold H, and a firing alert resolves only
+// after ResolveStreak consecutive observations below ResolveRatio×H.
+// resolved is a one-evaluation notification state that decays to ok.
+type AlertState uint8
+
+const (
+	StateOK AlertState = iota
+	StateWarning
+	StateFiring
+	StateResolved
+)
+
+// String names the state for JSON payloads and logs.
+func (s AlertState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateWarning:
+		return "warning"
+	case StateFiring:
+		return "firing"
+	case StateResolved:
+		return "resolved"
+	}
+	return "unknown"
+}
+
+// zGate bounds how surprising an observation may be and still update the
+// EW baseline: beyond this many sigmas the sample is treated as part of
+// a potential shift and excluded, so the baseline cannot chase the very
+// drift it is supposed to expose.
+const zGate = 3.0
+
+// minSigma floors the standard-deviation estimate so a perfectly flat
+// warmup (variance zero) does not turn the first wiggle into an infinite
+// z-score.
+const minSigma = 1e-6
+
+// cusumCap clamps the CUSUM accumulators to cusumCap×H. Because the
+// z-gate keeps the baseline from chasing a shift, a long-lived shift
+// would otherwise grow the accumulator without bound and the alert could
+// never resolve; the cap bounds recovery latency after the shift ends.
+const cusumCap = 4.0
+
+// detector tracks one subgroup's divergence series: a Welford warmup to
+// seed the baseline, an exponentially-weighted mean/variance baseline
+// with a z-gate, a two-sided CUSUM on the standardized residuals, and
+// the alert state machine. One detector per tracked pattern key.
+type detector struct {
+	cfg DetectionConfig
+
+	n        int     // observations consumed
+	mean     float64 // baseline mean (Welford during warmup, then EW)
+	m2       float64 // Welford sum of squared deviations (warmup only)
+	variance float64 // EW variance after warmup
+
+	sPos, sNeg float64 // CUSUM accumulators, upward and downward
+
+	state         AlertState
+	fireStreak    int
+	resolveStreak int
+
+	lastDiv, lastZ, lastStat float64
+}
+
+// update consumes one divergence observation and returns the state
+// transition it caused, if any.
+func (d *detector) update(x float64) (from, to AlertState, changed bool) {
+	from = d.state
+	d.lastDiv = x
+	d.n++
+	if d.n <= d.cfg.MinSamples {
+		// Warmup: establish the baseline before judging anything.
+		delta := x - d.mean
+		d.mean += delta / float64(d.n)
+		d.m2 += delta * (x - d.mean)
+		if d.n == d.cfg.MinSamples {
+			d.variance = d.m2 / math.Max(1, float64(d.n-1))
+		}
+		d.lastZ, d.lastStat = 0, 0
+		return from, d.state, false
+	}
+
+	sigma := math.Sqrt(d.variance)
+	if sigma < minSigma {
+		sigma = minSigma
+	}
+	z := (x - d.mean) / sigma
+	d.lastZ = z
+
+	// The baseline only absorbs unsurprising samples; shifted ones feed
+	// the CUSUM instead of re-centering it.
+	if math.Abs(z) <= zGate {
+		delta := x - d.mean
+		d.mean += d.cfg.Lambda * delta
+		d.variance = (1 - d.cfg.Lambda) * (d.variance + d.cfg.Lambda*delta*delta)
+	}
+
+	d.sPos = math.Min(math.Max(0, d.sPos+z-d.cfg.K), cusumCap*d.cfg.H)
+	d.sNeg = math.Min(math.Max(0, d.sNeg-z-d.cfg.K), cusumCap*d.cfg.H)
+	stat := math.Max(d.sPos, d.sNeg)
+	d.lastStat = stat
+
+	d.step(stat)
+	return from, d.state, d.state != from
+}
+
+// step advances the alert state machine on the current CUSUM statistic.
+func (d *detector) step(stat float64) {
+	switch d.state {
+	case StateOK, StateWarning, StateResolved:
+		switch {
+		case stat >= d.cfg.H:
+			d.fireStreak++
+			if d.fireStreak >= d.cfg.FiringStreak {
+				d.state = StateFiring
+				d.fireStreak = 0
+				d.resolveStreak = 0
+			} else if d.state != StateFiring {
+				d.state = StateWarning
+			}
+		case stat >= d.cfg.WarnRatio*d.cfg.H:
+			d.fireStreak = 0
+			d.state = StateWarning
+		default:
+			d.fireStreak = 0
+			d.state = StateOK
+		}
+	case StateFiring:
+		if stat < d.cfg.ResolveRatio*d.cfg.H {
+			d.resolveStreak++
+			if d.resolveStreak >= d.cfg.ResolveStreak {
+				d.state = StateResolved
+				d.resolveStreak = 0
+				// A resolved alert starts clean: the shift is over, so
+				// accumulated evidence for it must not linger.
+				d.sPos, d.sNeg = 0, 0
+			}
+		} else {
+			d.resolveStreak = 0
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package monitor
+
+import "testing"
+
+func testDetCfg() DetectionConfig { return DetectionConfig{}.withDefaults() }
+
+// feed pushes xs through the detector and returns every transition.
+func feed(d *detector, xs []float64) [][2]AlertState {
+	var out [][2]AlertState
+	for _, x := range xs {
+		if from, to, changed := d.update(x); changed {
+			out = append(out, [2]AlertState{from, to})
+		}
+	}
+	return out
+}
+
+func repeat(x float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+func TestDetectorWarmupNeverAlerts(t *testing.T) {
+	d := &detector{cfg: testDetCfg()}
+	// Wildly varying values, but all within warmup: no transitions.
+	if trs := feed(d, []float64{0, 1, -1, 2, -2, 3, -3, 4}); len(trs) != 0 {
+		t.Fatalf("transitions during warmup: %v", trs)
+	}
+	if d.state != StateOK {
+		t.Fatalf("state after warmup = %v", d.state)
+	}
+}
+
+func TestDetectorShiftFiresWithHysteresis(t *testing.T) {
+	cfg := testDetCfg()
+	d := &detector{cfg: cfg}
+	feed(d, repeat(0, cfg.MinSamples)) // flat baseline
+	// A sustained upward shift. The first exceedance may only warn
+	// (FiringStreak = 2); the second must fire.
+	trs := feed(d, repeat(0.2, 4))
+	if len(trs) < 2 {
+		t.Fatalf("transitions = %v, want warning then firing", trs)
+	}
+	if trs[0] != [2]AlertState{StateOK, StateWarning} {
+		t.Fatalf("first transition %v, want ok->warning", trs[0])
+	}
+	if trs[1] != [2]AlertState{StateWarning, StateFiring} {
+		t.Fatalf("second transition %v, want warning->firing", trs[1])
+	}
+	if d.state != StateFiring {
+		t.Fatalf("state = %v, want firing", d.state)
+	}
+	// One quiet sample must NOT resolve (ResolveStreak = 3).
+	feed(d, []float64{0})
+	if d.state != StateFiring {
+		t.Fatalf("single quiet sample resolved the alert (state %v)", d.state)
+	}
+}
+
+func TestDetectorResolvesAfterShiftEnds(t *testing.T) {
+	cfg := testDetCfg()
+	d := &detector{cfg: cfg}
+	feed(d, repeat(0, cfg.MinSamples))
+	feed(d, repeat(0.2, 5)) // drive to firing (accumulator capped at 4H)
+	if d.state != StateFiring {
+		t.Fatalf("setup: state %v", d.state)
+	}
+	// Back to baseline: the capped accumulator decays by K per step, so
+	// the alert resolves within a bounded number of quiet evaluations.
+	maxSteps := int(cusumCap*cfg.H/cfg.K) + cfg.ResolveStreak + 2
+	resolved := false
+	for i := 0; i < maxSteps; i++ {
+		if _, to, changed := d.update(0); changed && to == StateResolved {
+			resolved = true
+			break
+		}
+	}
+	if !resolved {
+		t.Fatalf("alert did not resolve within %d quiet evaluations (state %v, stat %v)", maxSteps, d.state, d.lastStat)
+	}
+	// The resolved state decays to ok on the next quiet sample, with
+	// CUSUM evidence cleared.
+	d.update(0)
+	if d.state != StateOK {
+		t.Fatalf("resolved did not decay to ok (state %v)", d.state)
+	}
+	if d.sPos != 0 && d.lastStat >= cfg.ResolveRatio*cfg.H {
+		t.Fatalf("CUSUM evidence not reset after resolve: sPos %v", d.sPos)
+	}
+}
+
+func TestDetectorDownwardShiftFiresToo(t *testing.T) {
+	cfg := testDetCfg()
+	d := &detector{cfg: cfg}
+	feed(d, repeat(0.5, cfg.MinSamples))
+	feed(d, repeat(0.1, 4))
+	if d.state != StateFiring {
+		t.Fatalf("two-sided CUSUM missed a downward shift (state %v)", d.state)
+	}
+}
+
+func TestDetectorStationarySeriesStaysOK(t *testing.T) {
+	d := &detector{cfg: testDetCfg()}
+	// A gently oscillating series around a fixed mean: no alerts.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 0.3
+		if i%2 == 0 {
+			xs[i] = 0.31
+		}
+	}
+	if trs := feed(d, xs); len(trs) != 0 {
+		t.Fatalf("stationary series produced transitions: %v", trs)
+	}
+}

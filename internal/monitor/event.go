@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Event is one validated classifier decision, compiled to the monitor's
+// schema: an event-time millisecond timestamp, one value code per
+// declared attribute, and the confusion cell of the decision.
+type Event struct {
+	T     int64
+	Vals  []uint8
+	Class uint8
+}
+
+// wireEvent is the JSON-line shape of one decision event:
+//
+//	{"t": 1723000000000, "attrs": {"sex": "male", "age": 34.5},
+//	 "truth": true, "pred": false}
+//
+// Attribute values are strings for categorical attributes and numbers
+// for numeric ones (discretized by the spec's cuts). truth and pred
+// accept booleans or the numbers 0/1.
+type wireEvent struct {
+	T     int64                      `json:"t"`
+	Attrs map[string]json.RawMessage `json:"attrs"`
+	Truth json.RawMessage            `json:"truth"`
+	Pred  json.RawMessage            `json:"pred"`
+}
+
+// Parser validates and compiles JSON-line events against one monitor
+// spec. A Parser is immutable after construction and safe for concurrent
+// use; the Events it produces own their Vals storage.
+type Parser struct {
+	spec  Spec
+	index map[string]int
+}
+
+// NewParser compiles a validated spec into an event parser.
+func NewParser(spec Spec) *Parser {
+	return &Parser{spec: spec, index: spec.attrIndexes()}
+}
+
+// Parse decodes one JSON-line event. Every declared attribute must be
+// present with a value in its domain; attributes the spec does not
+// declare are ignored (schema-evolution tolerance). Timestamps must be
+// non-negative, numeric values finite.
+func (p *Parser) Parse(line []byte) (Event, error) {
+	var w wireEvent
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&w); err != nil {
+		return Event{}, fmt.Errorf("monitor: decoding event: %w", err)
+	}
+	if w.T < 0 {
+		return Event{}, fmt.Errorf("monitor: event time %d is negative", w.T)
+	}
+	truth, err := parseOutcome(w.Truth, "truth")
+	if err != nil {
+		return Event{}, err
+	}
+	pred, err := parseOutcome(w.Pred, "pred")
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{T: w.T, Vals: make([]uint8, len(p.spec.Attributes)), Class: confusionCell(truth, pred)}
+	found := 0
+	for name, raw := range w.Attrs {
+		i, ok := p.index[name]
+		if !ok {
+			continue
+		}
+		code, err := p.spec.Attributes[i].valueCode(raw)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Vals[i] = code
+		found++
+	}
+	if found != len(p.spec.Attributes) {
+		return Event{}, fmt.Errorf("monitor: event is missing %d of the declared attributes (%v)",
+			len(p.spec.Attributes)-found, p.spec.sortedAttrNames())
+	}
+	return ev, nil
+}
+
+// valueCode validates one raw attribute value against its declaration
+// and returns its domain code.
+func (a *AttrSpec) valueCode(raw json.RawMessage) (uint8, error) {
+	if a.numeric() {
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return 0, fmt.Errorf("monitor: attribute %q wants a number, got %s", a.Name, clip(raw))
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("monitor: attribute %q value is not finite", a.Name)
+		}
+		return a.bin(v), nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return 0, fmt.Errorf("monitor: attribute %q wants a string, got %s", a.Name, clip(raw))
+	}
+	for i, v := range a.Values {
+		if v == s {
+			return uint8(i), nil
+		}
+	}
+	return 0, fmt.Errorf("monitor: attribute %q has no value %q", a.Name, s)
+}
+
+// parseOutcome reads a truth/pred field: a JSON boolean, or the numbers
+// 0 and 1. Anything else — including NaN/Inf encodings and other numbers
+// — is invalid.
+func parseOutcome(raw json.RawMessage, field string) (bool, error) {
+	if len(raw) == 0 {
+		return false, fmt.Errorf("monitor: event is missing %q", field)
+	}
+	var b bool
+	if err := json.Unmarshal(raw, &b); err == nil {
+		return b, nil
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return false, fmt.Errorf("monitor: %q wants a boolean or 0/1, got %s", field, clip(raw))
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("monitor: %q wants a boolean or 0/1, got %s", field, clip(raw))
+}
+
+// confusionCell maps a (truth, pred) pair to its confusion class.
+func confusionCell(truth, pred bool) uint8 {
+	switch {
+	case pred && truth:
+		return core.ClassTP
+	case pred && !truth:
+		return core.ClassFP
+	case !pred && truth:
+		return core.ClassFN
+	default:
+		return core.ClassTN
+	}
+}
+
+// clip bounds a raw JSON fragment for an error message.
+func clip(raw json.RawMessage) string {
+	const max = 32
+	if len(raw) > max {
+		return string(raw[:max]) + "..."
+	}
+	return string(raw)
+}
+
+// Batch is the result of parsing one ingest body: the valid events plus
+// per-line rejection bookkeeping.
+type Batch struct {
+	Events  []Event
+	Invalid int
+	// FirstErr samples the first rejection so clients can see why lines
+	// were dropped without the server echoing every bad line.
+	FirstErr error
+}
+
+// ParseBatch splits body into JSON lines and parses each. Blank lines
+// are skipped. Invalid lines are counted, never fatal: a stream ingests
+// what it can and reports the rest.
+func (p *Parser) ParseBatch(body []byte) Batch {
+	var b Batch
+	for len(body) > 0 {
+		line := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			body = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := p.Parse(line)
+		if err != nil {
+			b.Invalid++
+			if b.FirstErr == nil {
+				b.FirstErr = err
+			}
+			continue
+		}
+		b.Events = append(b.Events, ev)
+	}
+	return b
+}
+
+// ErrIngestBackpressure is returned when a monitor's bounded ingest
+// buffer is full — the streaming sibling of jobs.ErrQueueFull. Clients
+// should back off and retry.
+var ErrIngestBackpressure = errors.New("monitor: ingest buffer full")

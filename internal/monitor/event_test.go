@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testParser(t *testing.T) *Parser {
+	t.Helper()
+	s, err := validSpec().Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewParser(s)
+}
+
+func TestParseEvent(t *testing.T) {
+	p := testParser(t)
+	ev, err := p.Parse([]byte(`{"t": 1500, "attrs": {"color": "green", "size": "l", "age": 30}, "truth": false, "pred": true}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if ev.T != 1500 {
+		t.Errorf("T = %d", ev.T)
+	}
+	if ev.Vals[0] != 1 || ev.Vals[1] != 1 || ev.Vals[2] != 1 {
+		t.Errorf("Vals = %v, want [1 1 1]", ev.Vals)
+	}
+	if ev.Class != core.ClassFP {
+		t.Errorf("Class = %d, want FP", ev.Class)
+	}
+}
+
+func TestParseEventOutcomeForms(t *testing.T) {
+	p := testParser(t)
+	for _, tc := range []struct {
+		truth, pred string
+		want        uint8
+	}{
+		{"true", "true", core.ClassTP},
+		{"1", "0", core.ClassFN},
+		{"0", "0", core.ClassTN},
+		{"false", "1", core.ClassFP},
+	} {
+		line := `{"t": 0, "attrs": {"color": "red", "size": "s", "age": 1}, "truth": ` + tc.truth + `, "pred": ` + tc.pred + `}`
+		ev, err := p.Parse([]byte(line))
+		if err != nil {
+			t.Fatalf("Parse(%s/%s): %v", tc.truth, tc.pred, err)
+		}
+		if ev.Class != tc.want {
+			t.Errorf("truth=%s pred=%s: class %d, want %d", tc.truth, tc.pred, ev.Class, tc.want)
+		}
+	}
+}
+
+func TestParseEventRejects(t *testing.T) {
+	p := testParser(t)
+	cases := []struct {
+		name, line, want string
+	}{
+		{"garbage", `nope`, "decoding"},
+		{"negative time", `{"t": -1, "attrs": {"color":"red","size":"s","age":1}, "truth": 1, "pred": 0}`, "negative"},
+		{"missing attr", `{"t": 0, "attrs": {"color":"red","size":"s"}, "truth": 1, "pred": 0}`, "missing 1"},
+		{"unknown value", `{"t": 0, "attrs": {"color":"mauve","size":"s","age":1}, "truth": 1, "pred": 0}`, "no value"},
+		{"string for numeric", `{"t": 0, "attrs": {"color":"red","size":"s","age":"old"}, "truth": 1, "pred": 0}`, "wants a number"},
+		{"number for categorical", `{"t": 0, "attrs": {"color":3,"size":"s","age":1}, "truth": 1, "pred": 0}`, "wants a string"},
+		{"non-finite age", `{"t": 0, "attrs": {"color":"red","size":"s","age":1e999}, "truth": 1, "pred": 0}`, ""},
+		{"missing truth", `{"t": 0, "attrs": {"color":"red","size":"s","age":1}, "pred": 0}`, "truth"},
+		{"outcome 2", `{"t": 0, "attrs": {"color":"red","size":"s","age":1}, "truth": 2, "pred": 0}`, "0/1"},
+		{"outcome string", `{"t": 0, "attrs": {"color":"red","size":"s","age":1}, "truth": "yes", "pred": 0}`, "0/1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := p.Parse([]byte(tc.line)); err == nil {
+				t.Fatalf("accepted %s", tc.line)
+			} else if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseEventIgnoresUnknownAttrs(t *testing.T) {
+	p := testParser(t)
+	_, err := p.Parse([]byte(`{"t": 0, "attrs": {"color":"red","size":"s","age":1,"extra":"x"}, "truth": 1, "pred": 1}`))
+	if err != nil {
+		t.Fatalf("unknown attribute should be ignored, got %v", err)
+	}
+}
+
+func TestParseBatch(t *testing.T) {
+	p := testParser(t)
+	body := []byte(`{"t": 0, "attrs": {"color":"red","size":"s","age":1}, "truth": 1, "pred": 1}
+
+garbage line
+{"t": 10, "attrs": {"color":"blue","size":"l","age":60}, "truth": 0, "pred": 0}
+`)
+	b := p.ParseBatch(body)
+	if len(b.Events) != 2 || b.Invalid != 1 {
+		t.Fatalf("got %d events, %d invalid; want 2, 1", len(b.Events), b.Invalid)
+	}
+	if b.FirstErr == nil {
+		t.Fatal("no FirstErr sampled")
+	}
+	if b.Events[1].Vals[2] != 2 {
+		t.Errorf("age 60 binned to %d, want 2", b.Events[1].Vals[2])
+	}
+}

@@ -1,0 +1,67 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEvent throws arbitrary bytes at the ingest parser. The
+// invariants: never panic, and an accepted event is always in-schema —
+// every value index inside its attribute's cardinality, the class a
+// valid confusion-matrix cell, the timestamp non-negative.
+func FuzzParseEvent(f *testing.F) {
+	f.Add([]byte(`{"t": 1500, "attrs": {"color": "green", "size": "l", "age": 30}, "truth": false, "pred": true}`))
+	f.Add([]byte(`{"t": 0, "attrs": {"color": "red", "size": "s", "age": 0}, "truth": 1, "pred": 0}`))
+	f.Add([]byte(`{"t": 0, "attrs": {"color": "red", "size": "s", "age": -1e308}, "truth": 0, "pred": 0}`))
+	f.Add([]byte(`{"t": 9007199254740993, "attrs": {"color": "blue", "size": "l", "age": 1e999}, "truth": true, "pred": false}`))
+	f.Add([]byte(`{"attrs": {}}`))
+	f.Add([]byte(`{"t": -5}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"t": 0, "attrs": {"color": "red", "size": "s", "age": 1, "color": "blue"}, "truth": 1, "pred": 1}`))
+	f.Add([]byte(``))
+	f.Add([]byte("{\"t\":0,\"attrs\":{\"color\":\"red\",\"size\":\"s\",\"age\":1},\"truth\":1,\"pred\":1}\n{\"t\":1}"))
+
+	spec, err := validSpec().Validate()
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := NewParser(spec)
+	cards := make([]int, len(spec.Attributes))
+	for i, a := range spec.Attributes {
+		if len(a.Values) > 0 {
+			cards[i] = len(a.Values)
+		} else {
+			cards[i] = len(a.Cuts) + 1
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := p.Parse(line)
+		if err != nil {
+			return
+		}
+		if ev.T < 0 {
+			t.Fatalf("accepted negative timestamp %d from %q", ev.T, line)
+		}
+		if len(ev.Vals) != len(spec.Attributes) {
+			t.Fatalf("accepted event with %d values for %d attributes", len(ev.Vals), len(spec.Attributes))
+		}
+		for i, v := range ev.Vals {
+			if int(v) >= cards[i] {
+				t.Fatalf("value %d out of cardinality %d for attribute %d (%q)", v, cards[i], i, line)
+			}
+		}
+		if ev.Class > 3 {
+			t.Fatalf("class %d outside the confusion matrix (%q)", ev.Class, line)
+		}
+		// ParseBatch must agree with Parse on a single line. Interior
+		// newlines are legal JSON whitespace to Parse but line breaks to
+		// ParseBatch, so only newline-free lines round-trip.
+		if bytes.IndexByte(line, '\n') < 0 {
+			b := p.ParseBatch(append(line, '\n'))
+			if len(b.Events) != 1 || b.Invalid != 0 {
+				t.Fatalf("ParseBatch disagrees with Parse on %q: %+v", line, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package monitor
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Errors the manager surfaces to the serving layer.
+var (
+	// ErrNotFound reports an unknown monitor id.
+	ErrNotFound = errors.New("monitor: no such monitor")
+	// ErrTooManyMonitors is the create-side capacity bound.
+	ErrTooManyMonitors = errors.New("monitor: monitor limit reached")
+	// ErrManagerClosed rejects operations after Close.
+	ErrManagerClosed = errors.New("monitor: manager is closed")
+)
+
+// Config shapes a Manager.
+type Config struct {
+	// QueueDepth is each monitor's ingest buffer in batches (default 64).
+	QueueDepth int
+	// MaxMonitors bounds concurrently live monitors (default 32).
+	MaxMonitors int
+	// Store, when non-nil, makes monitor specs durable: create and delete
+	// append fsynced WAL records, and Recover rebuilds the live set from
+	// the log. Window contents are not persisted (lossy by contract).
+	Store *jobs.Store
+}
+
+// Stats aggregates monitor counters for /statsz. Lifetime counters
+// (events, alerts, ...) include monitors that have since been deleted.
+type Stats struct {
+	Active             int     `json:"active"`
+	Created            int64   `json:"created"`
+	Deleted            int64   `json:"deleted"`
+	Durable            bool    `json:"durable"`
+	Recovered          int64   `json:"recovered"`
+	Events             int64   `json:"events_ingested"`
+	EventsInvalid      int64   `json:"events_invalid"`
+	DroppedFull        int64   `json:"events_dropped_full"`
+	DroppedLate        int64   `json:"events_dropped_late"`
+	Advances           int64   `json:"windows_advanced"`
+	Remines            int64   `json:"remines"`
+	AlertsFiring       int     `json:"alerts_firing"`
+	AlertsFired        int64   `json:"alerts_fired"`
+	Transitions        int64   `json:"alert_transitions"`
+	MineErrors         int64   `json:"mine_errors"`
+	DetectionLatencyMs float64 `json:"detection_latency_ms"` // max over live monitors
+}
+
+// retired accumulates the final counters of deleted monitors so the
+// manager's lifetime stats stay monotonic across deletions.
+type retired struct {
+	events, invalid, droppedFull, droppedLate int64
+	advances, remines                         int64
+	alertsFired, transitions, mineErrs        int64
+}
+
+// Manager owns the live monitor set: create/get/list/delete, WAL
+// durability for specs, and aggregated stats. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	monitors  map[string]*Monitor
+	retiring  map[string]*Monitor
+	closed    bool
+	created   int64
+	deleted   int64
+	recovered int64
+	ret       retired
+}
+
+// NewManager builds a manager. Call Recover before serving if a store
+// is attached, and Close on shutdown.
+func NewManager(cfg Config) *Manager {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxMonitors <= 0 {
+		cfg.MaxMonitors = 32
+	}
+	return &Manager{
+		cfg:      cfg,
+		monitors: make(map[string]*Monitor),
+		retiring: make(map[string]*Monitor),
+	}
+}
+
+// newMonitorID mints a random 16-hex-char monitor id, prefixed so ids
+// are recognizable in logs shared with jobs.
+func newMonitorID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; surface loudly.
+		// lint:ignore libprint crypto/rand failure means the platform is unusable; no caller can act on an id error
+		panic("monitor: reading random bytes: " + err.Error())
+	}
+	return "mon-" + hex.EncodeToString(b[:])
+}
+
+// Create validates spec, persists it (when durable), and starts the
+// monitor. The WAL append is the acknowledgment gate: a spec the store
+// cannot record is refused, exactly like job submission.
+func (g *Manager) Create(spec Spec) (*Monitor, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrManagerClosed
+	}
+	if len(g.monitors) >= g.cfg.MaxMonitors {
+		return nil, fmt.Errorf("%w (max %d)", ErrTooManyMonitors, g.cfg.MaxMonitors)
+	}
+	id := newMonitorID()
+	if g.cfg.Store != nil {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: encoding spec: %w", err)
+		}
+		if err := g.cfg.Store.Append(jobs.Record{Type: jobs.RecMonitorCreated, Job: id, Monitor: raw}); err != nil {
+			return nil, fmt.Errorf("monitor: persisting create: %w", err)
+		}
+	}
+	m := newMonitor(id, spec, g.cfg.QueueDepth, time.Now())
+	g.monitors[id] = m
+	g.created++
+	return m, nil
+}
+
+// Get returns the monitor with the given id.
+func (g *Manager) Get(id string) (*Monitor, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.monitors[id]
+	return m, ok
+}
+
+// List returns the live monitors, oldest first (id tie-break).
+func (g *Manager) List() []*Monitor {
+	g.mu.Lock()
+	out := make([]*Monitor, 0, len(g.monitors))
+	for _, m := range g.monitors {
+		out = append(out, m)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Delete retires a monitor: the deletion is persisted first (when
+// durable; a delete the store cannot record is refused), then the worker
+// is stopped and the monitor's final counters fold into the lifetime
+// stats. Queued-but-unprocessed events are dropped — window contents are
+// lossy.
+func (g *Manager) Delete(id string) error {
+	g.mu.Lock()
+	m, ok := g.monitors[id]
+	if !ok {
+		g.mu.Unlock()
+		return ErrNotFound
+	}
+	if g.cfg.Store != nil {
+		if err := g.cfg.Store.Append(jobs.Record{Type: jobs.RecMonitorDeleted, Job: id}); err != nil {
+			g.mu.Unlock()
+			return fmt.Errorf("monitor: persisting delete: %w", err)
+		}
+	}
+	// Keep the monitor visible to Stats while its worker drains: between
+	// map removal and the fold below, its counters live nowhere else and
+	// a concurrent sampler would watch the lifetime totals dip.
+	delete(g.monitors, id)
+	g.retiring[id] = m
+	g.deleted++
+	g.mu.Unlock()
+
+	m.stop()
+	c := m.Counters()
+	g.mu.Lock()
+	g.foldLocked(c)
+	delete(g.retiring, id)
+	g.mu.Unlock()
+	return nil
+}
+
+// foldLocked accumulates a retiring monitor's counters; g.mu held.
+func (g *Manager) foldLocked(c Counters) {
+	g.ret.events += c.Events
+	g.ret.invalid += c.EventsInvalid
+	g.ret.droppedFull += c.DroppedFull
+	g.ret.droppedLate += c.DroppedLate
+	g.ret.advances += c.Advances
+	g.ret.remines += c.Remines
+	g.ret.alertsFired += c.AlertsFired
+	g.ret.transitions += c.Transitions
+	g.ret.mineErrs += c.MineErrors
+}
+
+// Recover rebuilds the live monitor set from the attached store's
+// replayed log: created records introduce a spec, deleted records retire
+// it, last writer wins in log order. Monitors come back with their
+// original ids and empty windows (the documented lossy restart). Specs
+// that no longer validate are skipped with an error, not fatal — one bad
+// historic record must not block startup. Returns the number of monitors
+// restored.
+func (g *Manager) Recover() (int, error) {
+	if g.cfg.Store == nil {
+		return 0, nil
+	}
+	type entry struct {
+		raw  json.RawMessage
+		at   time.Time
+		seq  int
+		live bool
+	}
+	byID := make(map[string]*entry)
+	seq := 0
+	for _, rec := range g.cfg.Store.Replay() {
+		switch rec.Type {
+		case jobs.RecMonitorCreated:
+			seq++
+			byID[rec.Job] = &entry{raw: rec.Monitor, at: rec.Time, seq: seq, live: true}
+		case jobs.RecMonitorDeleted:
+			if e := byID[rec.Job]; e != nil {
+				e.live = false
+			}
+		}
+	}
+	ids := make([]string, 0, len(byID))
+	for id, e := range byID {
+		if e.live {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return byID[ids[i]].seq < byID[ids[j]].seq })
+
+	var firstErr error
+	n := 0
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, ErrManagerClosed
+	}
+	for _, id := range ids {
+		e := byID[id]
+		var spec Spec
+		err := json.Unmarshal(e.raw, &spec)
+		if err == nil {
+			spec, err = spec.Validate()
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("monitor: recovering %s: %w", id, err)
+			}
+			continue
+		}
+		if _, dup := g.monitors[id]; dup {
+			continue
+		}
+		created := e.at
+		if created.IsZero() {
+			created = time.Now()
+		}
+		g.monitors[id] = newMonitor(id, spec, g.cfg.QueueDepth, created)
+		g.created++
+		n++
+	}
+	g.recovered = int64(n)
+	return n, firstErr
+}
+
+// Stats aggregates counters over live monitors plus retired totals.
+// Retiring monitors (deleted, worker still draining) count via their
+// live counters until the fold lands — ret and the retiring set are
+// snapshotted under one lock, so each monitor is counted exactly once
+// and the lifetime totals never move backwards.
+func (g *Manager) Stats() Stats {
+	g.mu.Lock()
+	live := make([]*Monitor, 0, len(g.monitors)+len(g.retiring))
+	for _, m := range g.monitors {
+		live = append(live, m)
+	}
+	for _, m := range g.retiring {
+		live = append(live, m)
+	}
+	s := Stats{
+		Active:        len(g.monitors),
+		Created:       g.created,
+		Deleted:       g.deleted,
+		Durable:       g.cfg.Store != nil,
+		Recovered:     g.recovered,
+		Events:        g.ret.events,
+		EventsInvalid: g.ret.invalid,
+		DroppedFull:   g.ret.droppedFull,
+		DroppedLate:   g.ret.droppedLate,
+		Advances:      g.ret.advances,
+		Remines:       g.ret.remines,
+		AlertsFired:   g.ret.alertsFired,
+		Transitions:   g.ret.transitions,
+		MineErrors:    g.ret.mineErrs,
+	}
+	g.mu.Unlock()
+	for _, m := range live {
+		c := m.Counters()
+		s.Events += c.Events
+		s.EventsInvalid += c.EventsInvalid
+		s.DroppedFull += c.DroppedFull
+		s.DroppedLate += c.DroppedLate
+		s.Advances += c.Advances
+		s.Remines += c.Remines
+		s.AlertsFiring += c.AlertsFiring
+		s.AlertsFired += c.AlertsFired
+		s.Transitions += c.Transitions
+		s.MineErrors += c.MineErrors
+		if c.DetectionLatencyMs > s.DetectionLatencyMs {
+			s.DetectionLatencyMs = c.DetectionLatencyMs
+		}
+	}
+	return s
+}
+
+// Close stops every monitor worker. The store is owned by the jobs
+// engine and is not closed here. Idempotent.
+func (g *Manager) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	live := make([]*Monitor, 0, len(g.monitors))
+	for id, m := range g.monitors {
+		live = append(live, m)
+		g.retiring[id] = m
+	}
+	g.monitors = make(map[string]*Monitor)
+	g.mu.Unlock()
+	for _, m := range live {
+		m.stop()
+	}
+	// Fold the final counters so lifetime totals survive shutdown (and
+	// stay visible through the drain via the retiring set, as in Delete).
+	// Only the monitors retired above: one retired by a concurrent Delete
+	// is still draining and will be folded, once, by that Delete.
+	g.mu.Lock()
+	for _, m := range live {
+		g.foldLocked(m.Counters())
+		delete(g.retiring, m.ID)
+	}
+	g.mu.Unlock()
+}

@@ -1,0 +1,198 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+func TestManagerCreateGetListDelete(t *testing.T) {
+	mgr := NewManager(Config{})
+	defer mgr.Close()
+
+	a, err := mgr.Create(driftSpec())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	b, err := mgr.Create(validSpec())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("duplicate monitor ids: %s", a.ID)
+	}
+	if got, ok := mgr.Get(a.ID); !ok || got != a {
+		t.Fatalf("Get(%s) = %v, %v", a.ID, got, ok)
+	}
+	if l := mgr.List(); len(l) != 2 {
+		t.Fatalf("List has %d monitors, want 2", len(l))
+	}
+	if err := mgr.Delete(a.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok := mgr.Get(a.ID); ok {
+		t.Fatal("deleted monitor still gettable")
+	}
+	if err := mgr.Delete(a.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Delete: %v, want ErrNotFound", err)
+	}
+	st := mgr.Stats()
+	if st.Active != 1 || st.Created != 2 || st.Deleted != 1 || st.Durable {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestManagerLimit(t *testing.T) {
+	mgr := NewManager(Config{MaxMonitors: 1})
+	defer mgr.Close()
+	if _, err := mgr.Create(driftSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(driftSpec()); !errors.Is(err, ErrTooManyMonitors) {
+		t.Fatalf("over-limit Create: %v, want ErrTooManyMonitors", err)
+	}
+}
+
+func TestManagerClosed(t *testing.T) {
+	mgr := NewManager(Config{})
+	m, err := mgr.Create(driftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close()
+	mgr.Close() // idempotent
+	if _, err := mgr.Create(driftSpec()); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("Create after Close: %v, want ErrManagerClosed", err)
+	}
+	if _, err := m.Ingest([]byte(`{}`)); !errors.Is(err, ErrMonitorStopped) {
+		t.Fatalf("ingest after Close: %v, want ErrMonitorStopped", err)
+	}
+}
+
+func TestManagerRejectsInvalidSpec(t *testing.T) {
+	mgr := NewManager(Config{})
+	defer mgr.Close()
+	if _, err := mgr.Create(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+// TestManagerWALRecovery is the durability contract end to end: specs
+// survive a restart with their ids, deletions are honored in log order,
+// and windows come back empty.
+func TestManagerWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := jobs.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+
+	mgr := NewManager(Config{Store: st})
+	keep1, err := mgr.Create(driftSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := mgr.Create(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep2, err := mgr.Create(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold some events into a window: they must NOT survive the restart.
+	if _, err := keep1.Ingest([]byte(`{"t":0,"attrs":{"attr0":"a0_v0","attr1":"a1_v0","attr2":"a2_v0"},"truth":1,"pred":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	awaitEvents(t, keep1, 1)
+	if err := mgr.Delete(doomed.ID); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close store: %v", err)
+	}
+
+	// Restart: a fresh store replays the log, a fresh manager recovers.
+	st2, err := jobs.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer st2.Close()
+	mgr2 := NewManager(Config{Store: st2})
+	defer mgr2.Close()
+	n, err := mgr2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("recovered %d monitors, want 2", n)
+	}
+	for _, want := range []*Monitor{keep1, keep2} {
+		got, ok := mgr2.Get(want.ID)
+		if !ok {
+			t.Fatalf("monitor %s not recovered", want.ID)
+		}
+		if !reflect.DeepEqual(got.Spec(), want.Spec()) {
+			t.Fatalf("recovered spec for %s differs:\n got %+v\nwant %+v", want.ID, got.Spec(), want.Spec())
+		}
+		if got.Snapshot().WindowRows != 0 {
+			t.Fatalf("recovered monitor %s has a non-empty window", want.ID)
+		}
+	}
+	if _, ok := mgr2.Get(doomed.ID); ok {
+		t.Fatal("deleted monitor resurrected by recovery")
+	}
+	if st := mgr2.Stats(); st.Recovered != 2 || !st.Durable {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+
+	// A recovered monitor must accept ingest immediately.
+	rec, _ := mgr2.Get(keep1.ID)
+	if res, err := rec.Ingest([]byte(`{"t":0,"attrs":{"attr0":"a0_v1","attr1":"a1_v1","attr2":"a2_v1"},"truth":0,"pred":1}`)); err != nil || res.Accepted != 1 {
+		t.Fatalf("ingest into recovered monitor: %+v, %v", res, err)
+	}
+}
+
+// TestJobRecoveryIgnoresMonitorRecords guards the shared-WAL seam: a log
+// full of monitor records must not produce phantom jobs when the jobs
+// engine replays it.
+func TestJobRecoveryIgnoresMonitorRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, err := jobs.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(Config{Store: st})
+	if _, err := mgr.Create(driftSpec()); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := jobs.New(jobs.Config{Registry: registry.New(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := eng.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	n, err := eng.Recover(dir)
+	if err != nil {
+		t.Fatalf("job recovery over monitor records: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("monitor records produced %d phantom jobs", n)
+	}
+}

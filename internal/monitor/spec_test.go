@@ -1,0 +1,109 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpec is the baseline used across the package tests: two
+// categorical attributes and one numeric, a small sliding window.
+func validSpec() Spec {
+	return Spec{
+		Name: "t",
+		Attributes: []AttrSpec{
+			{Name: "color", Values: []string{"red", "green", "blue"}},
+			{Name: "size", Values: []string{"s", "l"}},
+			{Name: "age", Cuts: []float64{25, 50}},
+		},
+		Window: WindowConfig{BucketMs: 100, Buckets: 8},
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s, err := validSpec().Validate()
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Metric != "FPR" || s.MinSupport != 0.05 || s.MaxLen != 3 || s.TopK != 10 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+	d := s.Detection
+	if d.Lambda != 0.2 || d.K != 0.5 || d.H != 5 || d.MinSamples != 8 ||
+		d.FiringStreak != 2 || d.ResolveStreak != 3 || d.WarnRatio != 0.6 || d.ResolveRatio != 0.5 {
+		t.Errorf("unexpected detection defaults: %+v", d)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no attrs", func(s *Spec) { s.Attributes = nil }, "attributes"},
+		{"dup attr", func(s *Spec) { s.Attributes[1].Name = "color" }, "duplicate"},
+		{"unnamed attr", func(s *Spec) { s.Attributes[0].Name = "" }, "no name"},
+		{"both values and cuts", func(s *Spec) { s.Attributes[0].Cuts = []float64{1} }, "exactly one"},
+		{"neither values nor cuts", func(s *Spec) { s.Attributes[0].Values = nil }, "exactly one"},
+		{"descending cuts", func(s *Spec) { s.Attributes[2].Cuts = []float64{50, 25} }, "ascending"},
+		{"single value", func(s *Spec) { s.Attributes[1].Values = []string{"s"} }, "cardinality"},
+		{"dup value", func(s *Spec) { s.Attributes[1].Values = []string{"s", "s"} }, "duplicate value"},
+		{"empty value", func(s *Spec) { s.Attributes[1].Values = []string{"s", ""} }, "empty value"},
+		{"bad metric", func(s *Spec) { s.Metric = "nope" }, "nope"},
+		{"bad support", func(s *Spec) { s.MinSupport = 1.5 }, "min_support"},
+		{"bad maxlen", func(s *Spec) { s.MaxLen = MaxPatternLen + 1 }, "max_len"},
+		{"no bucket width", func(s *Spec) { s.Window.BucketMs = -5 }, "bucket_ms"},
+		{"too many buckets", func(s *Spec) { s.Window.Buckets = MaxBuckets + 1 }, "buckets"},
+		{"bad lambda", func(s *Spec) { s.Detection.Lambda = 2 }, "lambda"},
+		{"bad h", func(s *Spec) { s.Detection.H = -1 }, "detection.h"},
+		{"bad warn ratio", func(s *Spec) { s.Detection.WarnRatio = 1.5 }, "warn_ratio"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			if _, err := s.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseSpecBadJSON(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"attributes": `)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestNumericBinning(t *testing.T) {
+	a := AttrSpec{Name: "age", Cuts: []float64{25, 50}}
+	for _, tc := range []struct {
+		v    float64
+		want uint8
+	}{{-1000, 0}, {24.9, 0}, {25, 1}, {49.9, 1}, {50, 2}, {1e9, 2}} {
+		if got := a.bin(tc.v); got != tc.want {
+			t.Errorf("bin(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	labels := a.binLabels()
+	want := []string{"[-inf,25)", "[25,50)", "[50,+inf)"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("label %d = %q, want %q", i, labels[i], want[i])
+		}
+	}
+}
+
+func TestSchemaIsPositional(t *testing.T) {
+	s, err := validSpec().Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := s.schema()
+	if attrs[0].Name != "color" || attrs[1].Name != "size" || attrs[2].Name != "age" {
+		t.Fatalf("schema reordered: %+v", attrs)
+	}
+	if attrs[2].Values[0] != "[-inf,25)" {
+		t.Fatalf("numeric schema values = %v", attrs[2].Values)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/jobs"
+	"repro/internal/monitor"
 	"repro/internal/registry"
 )
 
@@ -310,6 +311,7 @@ type statszJSON struct {
 	Jobs     jobs.Stats     `json:"jobs"`
 	Datasets registry.Stats `json:"datasets"`
 	Ladder   ladderJSON     `json:"result_ladder"`
+	Monitors monitor.Stats  `json:"monitors"`
 }
 
 // ladderJSON counts how often each rung of the graceful-degradation
@@ -342,5 +344,5 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		ladder.DiskLoads = ds.Spill.Loads
 		ladder.Quarantined = ds.Spill.Quarantined
 	}
-	writeJSON(w, http.StatusOK, statszJSON{Jobs: js, Datasets: ds, Ladder: ladder})
+	writeJSON(w, http.StatusOK, statszJSON{Jobs: js, Datasets: ds, Ladder: ladder, Monitors: s.monitors.Stats()})
 }

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// Wire shape for monitor responses: the monitor snapshot plus the
+// derived endpoint URLs.
+type monitorJSON struct {
+	monitor.Snapshot
+	IngestURL string `json:"ingest_url"`
+	EventsURL string `json:"events_url"`
+}
+
+func monitorToJSON(snap monitor.Snapshot) monitorJSON {
+	return monitorJSON{
+		Snapshot:  snap,
+		IngestURL: "/monitors/" + snap.ID + "/events",
+		EventsURL: "/monitors/" + snap.ID + "/events",
+	}
+}
+
+// handleMonitorCreate implements POST /monitors: validate the JSON spec,
+// persist it (when the manager is durable), start the monitor.
+func (s *Server) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := monitor.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, err := s.monitors.Create(spec)
+	switch {
+	case errors.Is(err, monitor.ErrTooManyMonitors):
+		// The same backpressure contract as the job queue: explicit 429,
+		// never silent queuing. Capacity frees on DELETE.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, monitor.ErrManagerClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, monitorToJSON(m.Snapshot()))
+}
+
+// handleMonitorList implements GET /monitors.
+func (s *Server) handleMonitorList(w http.ResponseWriter, _ *http.Request) {
+	live := s.monitors.List()
+	out := make([]monitorJSON, 0, len(live))
+	for _, m := range live {
+		out = append(out, monitorToJSON(m.Snapshot()))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"monitors": out})
+}
+
+// handleMonitorGet implements GET /monitors/{id}: the current top-K
+// divergent subgroups with their alert states, window position, and
+// counters.
+func (s *Server) handleMonitorGet(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.monitors.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown monitor "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, monitorToJSON(m.Snapshot()))
+}
+
+// handleMonitorDelete implements DELETE /monitors/{id}.
+func (s *Server) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.monitors.Delete(id)
+	switch {
+	case errors.Is(err, monitor.ErrNotFound):
+		writeError(w, http.StatusNotFound, "unknown monitor "+id)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleMonitorIngest implements POST /monitors/{id}/events: a JSON-lines
+// batch of decision events. Invalid lines are counted and skipped; a full
+// ingest buffer rejects the batch with 429 (explicit backpressure).
+func (s *Server) handleMonitorIngest(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.monitors.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown monitor "+r.PathValue("id"))
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	res, err := m.Ingest(body)
+	switch {
+	case errors.Is(err, monitor.ErrIngestBackpressure):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, monitor.ErrMonitorStopped):
+		writeError(w, http.StatusGone, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, res)
+}
+
+// handleMonitorEvents implements GET /monitors/{id}/events: a Server-Sent
+// Events stream of alert state transitions. The stream opens with a
+// "snapshot" event (the full monitor view), then emits one "alert" event
+// per transition, and closes with a "deleted" event if the monitor is
+// removed. Transitions are seq-stamped, so a reconnecting client sees
+// every transition still in the ring exactly once per connection.
+func (s *Server) handleMonitorEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.monitors.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown monitor "+id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeSSE(w, "snapshot", monitorToJSON(m.Snapshot()))
+	flusher.Flush()
+
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+
+	var lastSeq int64
+	for {
+		for _, tr := range m.TransitionsSince(lastSeq) {
+			lastSeq = tr.Seq
+			writeSSE(w, "alert", tr)
+		}
+		flusher.Flush()
+		if _, live := s.monitors.Get(id); !live {
+			writeSSE(w, "deleted", map[string]string{"id": id})
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

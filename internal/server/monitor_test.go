@@ -1,0 +1,337 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/monitor"
+)
+
+// driftMonitorSpec is the wire spec matching datagen.Drift's default
+// schema. Tumbling windows give the CUSUM detector the independent
+// samples it assumes; max_len 1 matches the single-attribute plant.
+const driftMonitorSpec = `{
+	"name": "e2e-drift",
+	"attributes": [
+		{"name": "attr0", "values": ["a0_v0", "a0_v1", "a0_v2"]},
+		{"name": "attr1", "values": ["a1_v0", "a1_v1", "a1_v2"]},
+		{"name": "attr2", "values": ["a2_v0", "a2_v1", "a2_v2"]}
+	],
+	"metric": "FPR",
+	"max_len": 1,
+	"min_support": 0.05,
+	"window": {"bucket_ms": 500, "buckets": 8, "tumbling": true},
+	"detection": {"min_samples": 10, "h": 8}
+}`
+
+// createMonitor POSTs a spec and returns the created monitor's id.
+func createMonitor(t *testing.T, h http.Handler, spec string) string {
+	t.Helper()
+	w := do(t, h, http.MethodPost, "/monitors", spec)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create monitor = %d: %s", w.Code, w.Body.String())
+	}
+	id := decode[monitorJSON](t, w).ID
+	if !strings.HasPrefix(id, "mon-") {
+		t.Fatalf("monitor id = %q", id)
+	}
+	return id
+}
+
+// ingestDrift streams s to the monitor in per-bucket batches over HTTP,
+// honoring 429 backpressure, and waits until the worker has folded in
+// every accepted event.
+func ingestDrift(t *testing.T, h http.Handler, id string, s *datagen.DriftStream) {
+	t.Helper()
+	const batch = 50 // StepMs 10 × 50 = one 500ms bucket per body
+	accepted := 0
+	for from := 0; from < len(s.Events); from += batch {
+		to := from + batch
+		if to > len(s.Events) {
+			to = len(s.Events)
+		}
+		body := string(s.Body(from, to))
+		for {
+			w := do(t, h, http.MethodPost, "/monitors/"+id+"/events", body)
+			if w.Code == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if w.Code != http.StatusAccepted {
+				t.Fatalf("ingest = %d: %s", w.Code, w.Body.String())
+			}
+			res := decode[monitor.IngestResult](t, w)
+			if res.Invalid != 0 {
+				t.Fatalf("generated events rejected: %+v", res)
+			}
+			accepted += res.Accepted
+			break
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := decode[monitorJSON](t, do(t, h, http.MethodGet, "/monitors/"+id, ""))
+		if snap.Counters.Events >= int64(accepted) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("monitor %s never drained %d events", id, accepted)
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	name string
+	data string
+}
+
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, frame := range strings.Split(body, "\n\n") {
+		frame = strings.TrimSpace(frame)
+		if frame == "" {
+			continue
+		}
+		lines := strings.SplitN(frame, "\n", 2)
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") || !strings.HasPrefix(lines[1], "data: ") {
+			t.Fatalf("malformed SSE frame: %q", frame)
+		}
+		out = append(out, sseEvent{
+			name: strings.TrimPrefix(lines[0], "event: "),
+			data: strings.TrimPrefix(lines[1], "data: "),
+		})
+	}
+	return out
+}
+
+// TestMonitorDriftToSSEAlert is the subsystem's end-to-end acceptance
+// test: create a monitor over HTTP, stream a seeded drifting decision
+// stream at it, and watch the planted subgroup's alert arrive over SSE —
+// while an identical no-drift control stream stays silent.
+func TestMonitorDriftToSSEAlert(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+	const events = 12000
+
+	gen := func(shiftAt int) *datagen.DriftStream {
+		ds, err := datagen.Drift(42, datagen.DriftConfig{Events: events, ShiftAt: shiftAt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+
+	drifted := createMonitor(t, h, driftMonitorSpec)
+	control := createMonitor(t, h, driftMonitorSpec)
+
+	// Subscribe to the drifted monitor's SSE stream before ingesting, so
+	// the test sees every transition live. The handler returns after the
+	// monitor is deleted.
+	streamed := make(chan string, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodGet, "/monitors/"+drifted+"/events", nil)
+		ctx, cancel := context.WithTimeout(req.Context(), 30*time.Second)
+		defer cancel()
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req.WithContext(ctx))
+		streamed <- w.Body.String()
+	}()
+
+	ingestDrift(t, h, drifted, gen(events/2))
+	ingestDrift(t, h, control, gen(events)) // ShiftAt == Events: no drift
+
+	// Deleting the monitor closes the SSE stream with a "deleted" event.
+	if w := do(t, h, http.MethodDelete, "/monitors/"+drifted, ""); w.Code != http.StatusOK {
+		t.Fatalf("delete = %d: %s", w.Code, w.Body.String())
+	}
+	frames := parseSSE(t, <-streamed)
+
+	if len(frames) == 0 || frames[0].name != "snapshot" {
+		t.Fatalf("stream did not open with a snapshot: %+v", frames)
+	}
+	if frames[len(frames)-1].name != "deleted" {
+		t.Fatalf("stream did not close with a deleted event: %+v", frames[len(frames)-1])
+	}
+
+	// The planted subgroup must fire, and — hysteresis — from the warning
+	// state, never straight from ok.
+	fired := false
+	var lastSeq int64
+	for _, f := range frames {
+		if f.name != "alert" {
+			continue
+		}
+		var tr monitor.Transition
+		if err := json.Unmarshal([]byte(f.data), &tr); err != nil {
+			t.Fatalf("decoding alert %q: %v", f.data, err)
+		}
+		if tr.Seq <= lastSeq {
+			t.Fatalf("SSE transitions out of order: seq %d after %d", tr.Seq, lastSeq)
+		}
+		lastSeq = tr.Seq
+		if tr.To == "firing" && len(tr.Itemset) == 1 && tr.Itemset[0] == "attr0=a0_v0" {
+			fired = true
+			if tr.From != "warning" {
+				t.Errorf("alert fired from %q, want the warning rung of the hysteresis ladder", tr.From)
+			}
+			if tr.Divergence <= 0 {
+				t.Errorf("firing transition carries divergence %v, want > 0", tr.Divergence)
+			}
+			if tr.Metric != "FPR" {
+				t.Errorf("firing transition metric = %q", tr.Metric)
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("no firing alert for attr0=a0_v0 on the SSE stream; frames: %+v", frames)
+	}
+
+	// The control monitor must be silent: no alerts fired, ever.
+	snap := decode[monitorJSON](t, do(t, h, http.MethodGet, "/monitors/"+control, ""))
+	if snap.Counters.AlertsFired != 0 {
+		t.Fatalf("control stream fired %d alerts", snap.Counters.AlertsFired)
+	}
+}
+
+func TestMonitorCRUDAndErrors(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	if w := do(t, h, http.MethodPost, "/monitors", `{"attributes": []}`); w.Code != http.StatusBadRequest {
+		t.Errorf("empty spec = %d, want 400", w.Code)
+	}
+	if w := do(t, h, http.MethodPost, "/monitors", `not json`); w.Code != http.StatusBadRequest {
+		t.Errorf("bad json = %d, want 400", w.Code)
+	}
+	if w := do(t, h, http.MethodGet, "/monitors/nope", ""); w.Code != http.StatusNotFound {
+		t.Errorf("unknown get = %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodDelete, "/monitors/nope", ""); w.Code != http.StatusNotFound {
+		t.Errorf("unknown delete = %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodPost, "/monitors/nope/events", `{}`); w.Code != http.StatusNotFound {
+		t.Errorf("unknown ingest = %d, want 404", w.Code)
+	}
+	if w := do(t, h, http.MethodGet, "/monitors/nope/events", ""); w.Code != http.StatusNotFound {
+		t.Errorf("unknown events = %d, want 404", w.Code)
+	}
+
+	id := createMonitor(t, h, driftMonitorSpec)
+	list := do(t, h, http.MethodGet, "/monitors", "")
+	if list.Code != http.StatusOK || !strings.Contains(list.Body.String(), id) {
+		t.Fatalf("list = %d: %s", list.Code, list.Body.String())
+	}
+
+	// Ingest with one invalid line: 202 with per-line accounting.
+	body := `{"t":0,"attrs":{"attr0":"a0_v0","attr1":"a1_v0","attr2":"a2_v0"},"truth":1,"pred":1}` + "\nnot json\n"
+	w := do(t, h, http.MethodPost, "/monitors/"+id+"/events", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("ingest = %d: %s", w.Code, w.Body.String())
+	}
+	res := decode[monitor.IngestResult](t, w)
+	if res.Accepted != 1 || res.Invalid != 1 || res.Error == "" {
+		t.Fatalf("ingest result %+v", res)
+	}
+
+	if w := do(t, h, http.MethodDelete, "/monitors/"+id, ""); w.Code != http.StatusOK {
+		t.Fatalf("delete = %d", w.Code)
+	}
+	if w := do(t, h, http.MethodGet, "/monitors/"+id, ""); w.Code != http.StatusNotFound {
+		t.Errorf("get after delete = %d, want 404", w.Code)
+	}
+}
+
+func TestMonitorCreateLimit(t *testing.T) {
+	mgr := monitor.NewManager(monitor.Config{MaxMonitors: 1})
+	s := newTestServer(t, Options{Monitors: mgr})
+	h := s.Handler()
+	createMonitor(t, h, driftMonitorSpec)
+	w := do(t, h, http.MethodPost, "/monitors", driftMonitorSpec)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit create = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestStatszMonitorsUnderLoad hammers /statsz while monitors are being
+// created, fed, and deleted concurrently: the monitors section must stay
+// well-formed, and lifetime counters must be monotonic (deleted monitors
+// fold into the totals rather than vanishing from them).
+func TestStatszMonitorsUnderLoad(t *testing.T) {
+	s := newTestServer(t, Options{})
+	h := s.Handler()
+
+	ds, err := datagen.Drift(3, datagen.DriftConfig{Events: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(chan string, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 4; round++ {
+			id := createMonitor(t, h, driftMonitorSpec)
+			ids <- id
+			for from := 0; from < len(ds.Events); from += 100 {
+				w := do(t, h, http.MethodPost, "/monitors/"+id+"/events", string(ds.Body(from, from+100)))
+				if w.Code == http.StatusTooManyRequests {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+			}
+			if round%2 == 1 {
+				do(t, h, http.MethodDelete, "/monitors/"+id, "")
+			}
+		}
+	}()
+
+	var lastEvents, lastCreated int64
+	sample := func() {
+		t.Helper()
+		w := do(t, h, http.MethodGet, "/statsz", "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("statsz = %d", w.Code)
+		}
+		stats := decode[statszJSON](t, w)
+		m := stats.Monitors
+		if m.Active < 0 || m.Created < m.Deleted {
+			t.Fatalf("implausible monitor stats: %+v", m)
+		}
+		if m.Events < lastEvents {
+			t.Fatalf("events_ingested went backwards: %d -> %d", lastEvents, m.Events)
+		}
+		if m.Created < lastCreated {
+			t.Fatalf("created went backwards: %d -> %d", lastCreated, m.Created)
+		}
+		lastEvents, lastCreated = m.Events, m.Created
+	}
+	for {
+		select {
+		case <-done:
+			sample()
+			if lastCreated != 4 {
+				t.Fatalf("final created = %d, want 4", lastCreated)
+			}
+			if lastEvents == 0 {
+				t.Fatal("statsz never saw ingested events")
+			}
+			// Drain the id channel so nothing leaks into other tests.
+			for len(ids) > 0 {
+				<-ids
+			}
+			return
+		default:
+			sample()
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

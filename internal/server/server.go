@@ -23,6 +23,15 @@
 //	GET    /jobs/{id}/events Server-Sent Events stream of partial
 //	                       snapshots and state transitions
 //	DELETE /jobs/{id}        cancel a queued or running job
+//	POST   /monitors         create a streaming divergence monitor (JSON spec)
+//	GET    /monitors         list live monitors
+//	GET    /monitors/{id}    monitor snapshot: top-K divergent subgroups,
+//	                       alert states, window position, counters
+//	POST   /monitors/{id}/events ingest a JSON-lines batch of decision
+//	                       events (429 on a full ingest buffer)
+//	GET    /monitors/{id}/events Server-Sent Events stream of alert
+//	                       state transitions
+//	DELETE /monitors/{id}    delete a monitor
 //
 // With a job store attached (divexplorer-server -store-dir) every job
 // lifecycle transition is written through to disk and replayed on boot,
@@ -70,6 +79,7 @@ import (
 	"repro/internal/fpm"
 	"repro/internal/htmlreport"
 	"repro/internal/jobs"
+	"repro/internal/monitor"
 	"repro/internal/registry"
 )
 
@@ -92,13 +102,18 @@ type Options struct {
 	// Engine runs analysis jobs; a default engine over Registry is
 	// created when nil.
 	Engine *jobs.Engine
+	// Monitors manages streaming divergence monitors; a default manager
+	// (sharing the engine's WAL store when one is attached) is created
+	// when nil.
+	Monitors *monitor.Manager
 }
 
 // Server ties the dataset registry and the job engine to HTTP handlers.
 type Server struct {
-	maxBody int64
-	reg     *registry.Registry
-	engine  *jobs.Engine
+	maxBody  int64
+	reg      *registry.Registry
+	engine   *jobs.Engine
+	monitors *monitor.Manager
 
 	// Degradation-ladder counters for /statsz: results served straight
 	// from the in-memory job result (the top rung), results served as a
@@ -130,14 +145,24 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{maxBody: maxBody, reg: reg, engine: engine}, nil
+	monitors := opts.Monitors
+	if monitors == nil {
+		monitors = monitor.NewManager(monitor.Config{Store: engine.Store()})
+	}
+	return &Server{maxBody: maxBody, reg: reg, engine: engine, monitors: monitors}, nil
 }
 
 // Engine returns the server's job engine (for shutdown wiring).
 func (s *Server) Engine() *jobs.Engine { return s.engine }
 
-// Close drains the job engine.
-func (s *Server) Close(ctx context.Context) error { return s.engine.Shutdown(ctx) }
+// Monitors returns the server's monitor manager (for recovery wiring).
+func (s *Server) Monitors() *monitor.Manager { return s.monitors }
+
+// Close stops the monitor workers and drains the job engine.
+func (s *Server) Close(ctx context.Context) error {
+	s.monitors.Close()
+	return s.engine.Shutdown(ctx)
+}
 
 // Handler returns the http.Handler serving the API.
 func (s *Server) Handler() http.Handler {
@@ -156,6 +181,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/partial", s.handleJobPartial)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /monitors", s.handleMonitorCreate)
+	mux.HandleFunc("GET /monitors", s.handleMonitorList)
+	mux.HandleFunc("GET /monitors/{id}", s.handleMonitorGet)
+	mux.HandleFunc("DELETE /monitors/{id}", s.handleMonitorDelete)
+	mux.HandleFunc("POST /monitors/{id}/events", s.handleMonitorIngest)
+	mux.HandleFunc("GET /monitors/{id}/events", s.handleMonitorEvents)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
 }

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # bench.sh — regenerate the committed perf-trajectory snapshot.
 #
-# Runs the three perf-critical benchmark families with -benchmem —
+# Runs the perf-critical benchmark families with -benchmem —
 #
 #   BenchmarkMineFPGrowthCompas          the sequential conditional-tree
 #                                        mine (the hotalloc-guarded path)
 #   BenchmarkRegistryRegister            fresh vs dedup registration
 #   BenchmarkRegistryGetDiskFallthrough  memory hit vs spill reload
+#   BenchmarkMonitorIngest               streaming ingest end to end
+#                                        (parse, queue, window fold)
+#   BenchmarkWindowAdvance               the O(bucket) advance across
+#                                        window lengths — flat ns/op is
+#                                        the design's acceptance bar
 #
 # — and writes them as BENCH_<date>.json (schema divex-bench/v1, see
 # internal/benchfmt) in the repository root. Committing the file after a
@@ -33,6 +38,8 @@ echo "==> benchmarks (-benchtime ${benchtime}, -benchmem)"
         -bench '^BenchmarkMineFPGrowthCompas$' .
     go test -run=NONE -benchmem -benchtime="${benchtime}" \
         -bench '^(BenchmarkRegistryRegister|BenchmarkRegistryGetDiskFallthrough)$' ./internal/registry
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^(BenchmarkMonitorIngest|BenchmarkWindowAdvance)$' ./internal/monitor
 } | tee /dev/stderr | go run ./cmd/benchfmt -date "${date}" -out "${out}"
 
 echo "bench: snapshot written to ${out}"

@@ -30,6 +30,11 @@
 #                                  positive integer to explore other
 #                                  deterministic schedules — the seed
 #                                  is echoed so any failure reproduces)
+#   6b. monitor-race tier          the streaming monitor subsystem twice
+#                                  more under -race: concurrent ingest
+#                                  vs. window advance vs. delete, plus
+#                                  the drift-to-SSE e2e, are the
+#                                  timing-sensitive paths
 #   7. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
@@ -75,9 +80,14 @@ DIVEX_FAULT_SEED="${DIVEX_FAULT_SEED:-1}" \
     go test -race -run 'Chaos|Spill|Fault|Injector|Retry|Transient|OSPassthrough|RemoveIsTotal|DeleteDatasetPurges' \
     ./internal/faultfs ./internal/registry ./internal/jobs ./internal/server
 
+echo "==> monitor-race tier (streaming ingest/advance/delete, -count=2)"
+go test -race -count=2 ./internal/monitor/...
+go test -race -run 'Monitor|Statsz' ./internal/server
+
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
 go test -run=NONE -fuzz='^FuzzDiscretize$' -fuzztime=10s ./internal/discretize
+go test -run=NONE -fuzz='^FuzzParseEvent$' -fuzztime=10s ./internal/monitor
 
 echo "==> coverage summary (jobs, fpm)"
 go test -cover ./internal/jobs ./internal/fpm | awk '{print "    " $0}'
