@@ -1,7 +1,9 @@
 // Command divexplorer-server runs the DivExplorer HTTP API: POST a CSV
-// to /analyze for a synchronous divergence analysis, or use the job API
+// to /analyze for a synchronous divergence analysis, use the job API
 // (POST /datasets, POST /jobs, GET /jobs/{id}) to mine asynchronously on
-// a bounded worker pool. See internal/server for endpoint documentation.
+// a bounded worker pool, or POST /explore for budgeted anytime queries
+// and lattice navigation over a registered dataset. See internal/server
+// for endpoint documentation.
 //
 // With -store-dir the job engine is durable: every lifecycle transition
 // is written ahead to a JSON-lines log in that directory, replayed on
@@ -57,6 +59,10 @@ func main() {
 			"directory for the dataset disk-spill tier; empty evicts to nowhere (datasets are lost on eviction)")
 		spillBudget = flag.Int64("spill-budget-bytes", 0,
 			"disk byte budget for spilled datasets (0 = unlimited); oldest spill files are evicted first")
+		exploreCache = flag.Int("explore-cache", 64,
+			"anytime-explore outcome cache capacity in entries (POST /explore)")
+		exploreSessions = flag.Int("explore-sessions", 16,
+			"max resident lattice-navigation sessions (one per dataset and label-column pair)")
 		monitorQueue = flag.Int("monitor-queue", 64,
 			"per-monitor ingest buffer in batches before ingest gets HTTP 429")
 		maxMonitors = flag.Int("max-monitors", 32,
@@ -85,6 +91,8 @@ func main() {
 		ResultCacheEntries: *resultCache,
 		DefaultTimeout:     *jobTimeout,
 		SnapshotEvery:      *snapshotEvery,
+		ExploreCacheEntries: *exploreCache,
+		ExploreSessions:     *exploreSessions,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -163,6 +163,7 @@ type mineState struct {
 	suffix   []Item // fixed-capacity pattern stack (max depth = NumAttrs+1)
 	sufLen   int
 	patArena []Item // append-only backing for emitted pattern slices
+	anySink  anytimeSink // reusable budgeted sink; its scratch amortizes like the arenas
 }
 
 // newMineState sizes a state for a catalog.

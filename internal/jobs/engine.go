@@ -42,6 +42,12 @@ type Config struct {
 	// snapshot served by the partial/events endpoints always updates on
 	// every emission regardless.
 	SnapshotEvery time.Duration
+	// ExploreCacheEntries bounds the anytime-explore outcome LRU; 64
+	// when <= 0.
+	ExploreCacheEntries int
+	// ExploreSessions bounds the per-dataset navigation-session LRU; 16
+	// when <= 0.
+	ExploreSessions int
 }
 
 // Stats is a point-in-time snapshot of the engine counters for /statsz.
@@ -65,6 +71,8 @@ type Stats struct {
 	Rehydrated  int64      `json:"rehydrated"`
 	StoreErrors int64      `json:"store_errors"`
 	ResultCache CacheStats `json:"result_cache"`
+	// Explore is the anytime exploration/navigation tier.
+	Explore ExploreStats `json:"explore"`
 }
 
 // Engine is the asynchronous analysis-job engine: a bounded worker pool
@@ -90,6 +98,16 @@ type Engine struct {
 	wg      sync.WaitGroup
 
 	store atomic.Pointer[Store]
+
+	// Anytime exploration tier: outcome cache and per-dataset
+	// navigation sessions, both LRU-bounded under one lock.
+	exploreMu sync.Mutex
+	xcache    exploreCache
+	sessions  *keyedLRU
+
+	explores     atomic.Int64
+	exploreMines atomic.Int64
+	expands      atomic.Int64
 
 	busy       atomic.Int64
 	submitted  atomic.Int64
@@ -123,6 +141,14 @@ func New(cfg Config) (*Engine, error) {
 	if analyze == nil {
 		analyze = RunAnalysis
 	}
+	exploreEntries := cfg.ExploreCacheEntries
+	if exploreEntries <= 0 {
+		exploreEntries = 64
+	}
+	sessionEntries := cfg.ExploreSessions
+	if sessionEntries <= 0 {
+		sessionEntries = 16
+	}
 	// lint:ignore ctxflow the engine root context outlives any caller request; it is canceled by Engine.Close, not by whoever happened to construct the engine
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
@@ -135,6 +161,8 @@ func New(cfg Config) (*Engine, error) {
 		queue:      make(chan *Job, depth),
 		jobs:       make(map[string]*Job),
 		workers:    workers,
+		xcache:     exploreCache{c: newKeyedLRU(exploreEntries)},
+		sessions:   newKeyedLRU(sessionEntries),
 	}
 	if cfg.Store != nil {
 		e.store.Store(cfg.Store)
@@ -292,12 +320,21 @@ func (e *Engine) run(job *Job) {
 		},
 	}
 
-	res, cacheHit, err := e.analyzeCached(ctx, job.spec, tr)
+	var res *core.Result
+	var xout *ExploreOutcome
+	var cacheHit bool
+	var err error
+	if job.explore != nil {
+		xout, err = e.explore(ctx, *job.explore, tr)
+		cacheHit = xout != nil && xout.CacheHit
+	} else {
+		res, cacheHit, err = e.analyzeCached(ctx, job.spec, tr)
+	}
 
 	// Summarize outside the job lock: it ranks the whole lattice, and
 	// status polls must not stall behind it.
 	var sum *ResultSummary
-	if err == nil {
+	if err == nil && res != nil {
 		sum = summarize(res, job.spec)
 	}
 
@@ -309,6 +346,7 @@ func (e *Engine) run(job *Job) {
 	case err == nil:
 		job.state = StateDone
 		job.result = res
+		job.exploreOut = xout
 		job.summary = sum
 		job.cacheHit = cacheHit
 		e.completed.Add(1)
@@ -419,5 +457,6 @@ func (e *Engine) Stats() Stats {
 		Rehydrated:  e.rehydrated.Load(),
 		StoreErrors: e.storeErrs.Load(),
 		ResultCache: e.cache.stats(),
+		Explore:     e.ExploreStatsSnapshot(),
 	}
 }

@@ -1,0 +1,561 @@
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fpm"
+	"repro/internal/lattice"
+	"repro/internal/registry"
+	"repro/internal/stats"
+)
+
+// The anytime exploration tier (DESIGN.md §14). Explore queries run
+// synchronously on the request goroutine — budgets keep them
+// interactive — or asynchronously through the normal job lifecycle
+// (SubmitExplore), in which case top-K refinements stream through the
+// partial-result Tracker and the final snapshot carries the completion
+// reason. Expand/Drill navigation never mines at all: it is served by a
+// per-dataset lattice.Explorer whose conditional-tally cache turns a
+// click on a pattern into one narrowed scan.
+
+// ExploreSpec describes one anytime exploration.
+type ExploreSpec struct {
+	Dataset  registry.Hash
+	TruthCol string
+	PredCol  string
+	Support  float64
+	// Metric is the single divergence metric to rank by (|Δ| order).
+	Metric string
+	TopK   int
+	// BudgetMS bounds wall-clock time; 0 means no deadline.
+	BudgetMS int64
+	// MaxPatterns bounds the number of patterns visited; 0 means all.
+	MaxPatterns int64
+	// SampleRows, when > 0, mines a uniform row sample of that size and
+	// annotates every estimate with confidence intervals.
+	SampleRows int
+	SampleSeed int64
+	// Confidence for the error bounds (core.DefaultConfidence when 0).
+	Confidence float64
+}
+
+// CacheKey identifies the cached outcome for a spec. Budgets are
+// deliberately excluded: they bound how much of the answer gets
+// computed, not what the answer is, so a cached *complete* outcome can
+// serve any budget. Sampling parameters change the answer and are
+// included.
+func (s ExploreSpec) CacheKey() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	parts := []string{
+		"explore", string(s.Dataset), s.TruthCol, s.PredCol,
+		f(s.Support), s.Metric, strconv.Itoa(s.TopK),
+		strconv.Itoa(s.SampleRows), strconv.FormatInt(s.SampleSeed, 10), f(s.Confidence),
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// ExplorePattern is one ranked pattern on the explore wire format. The
+// *Lo/*Hi interval fields are meaningful only on sampled runs; on exact
+// runs they collapse to the point estimates.
+type ExplorePattern struct {
+	Items      []string `json:"itemset"`
+	Support    float64  `json:"support"`
+	Rate       float64  `json:"rate"`
+	Divergence float64  `json:"divergence"`
+	T          float64  `json:"t"`
+
+	SupportLo    float64 `json:"support_lo"`
+	SupportHi    float64 `json:"support_hi"`
+	RateLo       float64 `json:"rate_lo"`
+	RateHi       float64 `json:"rate_hi"`
+	DivergenceLo float64 `json:"divergence_lo"`
+	DivergenceHi float64 `json:"divergence_hi"`
+}
+
+// ExploreOutcome is the result of one anytime exploration.
+type ExploreOutcome struct {
+	Reason     string           `json:"reason"` // exhausted | deadline | budget
+	Partial    bool             `json:"partial"`
+	Visited    int64            `json:"patterns_visited"`
+	Metric     string           `json:"metric"`
+	GlobalRate float64          `json:"global_rate"`
+	Top        []ExplorePattern `json:"top"`
+	Sampled    bool             `json:"sampled"`
+	SampleSize int              `json:"sample_size,omitempty"`
+	Confidence float64          `json:"confidence,omitempty"`
+	SupportEps float64          `json:"support_eps,omitempty"`
+	CacheHit   bool             `json:"cache_hit"`
+}
+
+// ExpandSpec describes one lattice-navigation step: the frequent
+// refinements of Pattern, optionally restricted to one attribute
+// (Attr non-empty = drill).
+type ExpandSpec struct {
+	Dataset  registry.Hash
+	TruthCol string
+	PredCol  string
+	Support  float64
+	Metric   string
+	// Pattern names the parent pattern's items ("attr=value"); empty
+	// expands the root into the frequent singletons.
+	Pattern []string
+	// Attr, when non-empty, drills along that attribute only.
+	Attr string
+}
+
+// ExpandOutcome is the result of one navigation step. Refinement
+// statistics are exact (navigation never samples), so the interval
+// fields of each ExplorePattern are degenerate.
+type ExpandOutcome struct {
+	Parent      []string         `json:"parent"`
+	Metric      string           `json:"metric"`
+	GlobalRate  float64          `json:"global_rate"`
+	Refinements []ExplorePattern `json:"refinements"`
+}
+
+// ExploreStats is the /statsz slice for the anytime tier.
+type ExploreStats struct {
+	// Explores counts explore queries; Mines counts the ones that
+	// actually ran an anytime mine (the rest were cache hits). Expands
+	// counts navigation steps, which never mine by construction.
+	Explores int64      `json:"explores"`
+	Mines    int64      `json:"mines"`
+	Expands  int64      `json:"expands"`
+	Cache    CacheStats `json:"cache"`
+	// Sessions counts resident per-dataset navigation sessions;
+	// Navigation aggregates their conditional-tally cache counters.
+	Sessions   int                   `json:"sessions"`
+	Navigation lattice.ExplorerStats `json:"navigation"`
+}
+
+// exploreCache is an LRU of complete explore outcomes. Outcomes are
+// immutable once published.
+type exploreCache struct {
+	c *keyedLRU
+}
+
+// session is one per-(dataset, labels) exploration context: the
+// transaction database and the navigation explorer sharing its
+// conditional-tally cache across requests.
+type session struct {
+	db  *fpm.TxDB
+	nav *lattice.Explorer
+}
+
+// keyedLRU is the engine's shared entry-bounded LRU shape.
+type keyedLRU struct {
+	capacity  int
+	ll        *list.List
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type lruEntry struct {
+	key string
+	val interface{}
+}
+
+func newKeyedLRU(capacity int) *keyedLRU {
+	return &keyedLRU{capacity: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *keyedLRU) get(key string) (interface{}, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *keyedLRU) put(key string, val interface{}) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *keyedLRU) stats() CacheStats {
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// validateExplore normalizes and checks a spec, resolving the metric.
+func (e *Engine) validateExplore(s *ExploreSpec) (core.Metric, error) {
+	if s.Support < 0 || s.Support > 1 {
+		return core.Metric{}, fmt.Errorf("%w: support %v out of [0,1]", ErrBadInput, s.Support)
+	}
+	if s.TopK <= 0 {
+		s.TopK = 10
+	}
+	if s.BudgetMS < 0 || s.MaxPatterns < 0 || s.SampleRows < 0 {
+		return core.Metric{}, fmt.Errorf("%w: negative budget", ErrBadInput)
+	}
+	if s.Confidence < 0 || s.Confidence >= 1 {
+		return core.Metric{}, fmt.Errorf("%w: confidence %v out of [0,1)", ErrBadInput, s.Confidence)
+	}
+	if s.Metric == "" {
+		s.Metric = "ER"
+	}
+	m, err := core.MetricByName(s.Metric)
+	if err != nil {
+		return core.Metric{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	s.Metric = m.Name
+	return m, nil
+}
+
+// session returns the cached exploration context for a dataset and
+// label-column pair, building the transaction database on first use.
+func (e *Engine) session(ds registry.Hash, truthCol, predCol string) (*session, error) {
+	key := string(ds) + "\x1f" + truthCol + "\x1f" + predCol
+	e.exploreMu.Lock()
+	if v, ok := e.sessions.get(key); ok {
+		e.exploreMu.Unlock()
+		return v.(*session), nil
+	}
+	e.exploreMu.Unlock()
+
+	entry, ok := e.reg.Get(ds)
+	if !ok {
+		return nil, fmt.Errorf("%w: %w: %s", ErrBadInput, ErrDatasetGone, ds)
+	}
+	truth, pred, rest, err := extractLabels(entry.Data, truthCol, predCol)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	classes, err := core.ConfusionClasses(truth, pred)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	db, err := fpm.NewTxDB(rest, classes, core.NumConfusionClasses)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	s := &session{db: db, nav: lattice.NewExplorer(db, 0)}
+
+	e.exploreMu.Lock()
+	defer e.exploreMu.Unlock()
+	if v, ok := e.sessions.get(key); ok { // raced with another builder
+		return v.(*session), nil
+	}
+	e.sessions.put(key, s)
+	return s, nil
+}
+
+// Explore answers one anytime exploration synchronously, consulting the
+// outcome cache first. Only complete (exhausted) outcomes are cached —
+// and because budgets only truncate, a cached complete outcome
+// truthfully serves any budgeted re-ask of the same question, marked
+// cache_hit with partial=false.
+func (e *Engine) Explore(ctx context.Context, spec ExploreSpec) (*ExploreOutcome, error) {
+	return e.explore(ctx, spec, nil)
+}
+
+// explore is the shared sync/async implementation; tr may be nil.
+func (e *Engine) explore(ctx context.Context, spec ExploreSpec, tr *Tracker) (*ExploreOutcome, error) {
+	m, err := e.validateExplore(&spec)
+	if err != nil {
+		return nil, err
+	}
+	e.explores.Add(1)
+	key := spec.CacheKey()
+	e.exploreMu.Lock()
+	if v, ok := e.xcache.c.get(key); ok {
+		e.exploreMu.Unlock()
+		out := *v.(*ExploreOutcome)
+		out.CacheHit = true
+		return &out, nil
+	}
+	e.exploreMu.Unlock()
+
+	sess, err := e.session(spec.Dataset, spec.TruthCol, spec.PredCol)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := fpm.AnytimeBudget{MaxPatterns: spec.MaxPatterns}
+	if spec.BudgetMS > 0 {
+		budget.Deadline = time.Now().Add(time.Duration(spec.BudgetMS) * time.Millisecond)
+	}
+	// The surrounding context's deadline (job timeout, client timeout)
+	// tightens the budget; explicit cancellation between deadlines is not
+	// observed by the mine — budgets bound it already.
+	if d, ok := ctx.Deadline(); ok && (budget.Deadline.IsZero() || d.Before(budget.Deadline)) {
+		budget.Deadline = d
+	}
+
+	opts := core.AnytimeOptions{
+		Budget:     budget,
+		SampleRows: spec.SampleRows,
+		SampleSeed: spec.SampleSeed,
+		Confidence: spec.Confidence,
+	}
+	if tr != nil {
+		opts.OnUpdate = func(top []core.RankedEstimate, visited int64) {
+			tr.Partial(Snapshot{
+				Patterns: visited,
+				Metric:   m.Name,
+				Top:      partialPatterns(sess.db.Catalog, top),
+			})
+		}
+	}
+	e.exploreMines.Add(1)
+	res, err := core.ExploreTopKAnytime(sess.db, spec.Support, m, spec.TopK, core.ByAbsDivergence, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+
+	kp, kn := m.Counts(sess.db.TotalTally())
+	out := &ExploreOutcome{
+		Reason:     res.Reason.String(),
+		Partial:    res.Partial(),
+		Visited:    res.Visited,
+		Metric:     m.Name,
+		GlobalRate: float64(kp) / float64(kp+kn),
+		Top:        explorePatterns(sess.db.Catalog, res.Top),
+		Sampled:    res.Sampled,
+		Confidence: res.Confidence,
+	}
+	if res.Sampled {
+		out.SampleSize = res.SampleSize
+		out.SupportEps = res.SupportEps
+	}
+	if tr != nil {
+		// Final snapshot: the settled leaderboard plus the completion
+		// reason, the signal pollers key off to stop.
+		tr.Partial(Snapshot{
+			Patterns: res.Visited,
+			Metric:   m.Name,
+			Top:      partialPatterns(sess.db.Catalog, res.Top),
+			Reason:   out.Reason,
+		})
+	}
+	if res.Reason == fpm.ReasonExhausted {
+		e.exploreMu.Lock()
+		e.xcache.c.put(key, out)
+		e.exploreMu.Unlock()
+	}
+	return out, nil
+}
+
+// Expand answers one navigation step from the per-dataset explorer —
+// cached conditional tallies, no mining.
+func (e *Engine) Expand(spec ExpandSpec) (*ExpandOutcome, error) {
+	xs := ExploreSpec{
+		Dataset: spec.Dataset, TruthCol: spec.TruthCol, PredCol: spec.PredCol,
+		Support: spec.Support, Metric: spec.Metric,
+	}
+	m, err := e.validateExplore(&xs)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := e.session(spec.Dataset, spec.TruthCol, spec.PredCol)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := sess.db.Catalog.ItemsetByNames(spec.Pattern...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	minCount := fpm.MinCount(sess.db.NumRows(), xs.Support)
+
+	var refs []lattice.Refinement
+	if spec.Attr != "" {
+		attr := -1
+		for a := 0; a < sess.db.Catalog.NumAttrs(); a++ {
+			if sess.db.Catalog.AttrName(a) == spec.Attr {
+				attr = a
+				break
+			}
+		}
+		if attr < 0 {
+			return nil, fmt.Errorf("%w: unknown attribute %q", ErrBadInput, spec.Attr)
+		}
+		refs, err = sess.nav.Drill(pattern, attr, minCount)
+	} else {
+		refs, err = sess.nav.Expand(pattern, minCount)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	e.expands.Add(1)
+
+	total := sess.db.TotalTally()
+	kp, kn := m.Counts(total)
+	if kp+kn == 0 {
+		return nil, fmt.Errorf("%w: metric %s undefined on the whole dataset", ErrBadInput, m.Name)
+	}
+	globalRate := float64(kp) / float64(kp+kn)
+	globalPost := stats.NewPosteriorRate(float64(kp), float64(kn))
+	rows := float64(sess.db.NumRows())
+
+	out := &ExpandOutcome{
+		Parent:     itemNameList(sess.db.Catalog, pattern),
+		Metric:     m.Name,
+		GlobalRate: globalRate,
+	}
+	for _, r := range refs {
+		p := exactPattern(sess.db.Catalog, r.Items, r.Tally, rows, globalRate, globalPost, m)
+		if p != nil {
+			out.Refinements = append(out.Refinements, *p)
+		}
+	}
+	return out, nil
+}
+
+// ExploreStatsSnapshot returns the anytime-tier counters.
+func (e *Engine) ExploreStatsSnapshot() ExploreStats {
+	e.exploreMu.Lock()
+	defer e.exploreMu.Unlock()
+	st := ExploreStats{
+		Explores: e.explores.Load(),
+		Mines:    e.exploreMines.Load(),
+		Expands:  e.expands.Load(),
+		Cache:    e.xcache.c.stats(),
+		Sessions: e.sessions.ll.Len(),
+	}
+	for el := e.sessions.ll.Front(); el != nil; el = el.Next() {
+		ns := el.Value.(*lruEntry).val.(*session).nav.Stats()
+		st.Navigation.Entries += ns.Entries
+		st.Navigation.Hits += ns.Hits
+		st.Navigation.Misses += ns.Misses
+		st.Navigation.Evictions += ns.Evictions
+		st.Navigation.RowsScanned += ns.RowsScanned
+		st.Navigation.Expands += ns.Expands
+		st.Navigation.Capacity = ns.Capacity
+	}
+	return st
+}
+
+// exactPattern renders one exactly-tallied pattern (navigation and
+// unsampled paths); nil when the metric is undefined on it.
+func exactPattern(cat *fpm.Catalog, items fpm.Itemset, t fpm.Tally, rows, globalRate float64, globalPost stats.PosteriorRate, m core.Metric) *ExplorePattern {
+	kp, kn := m.Counts(t)
+	if kp+kn == 0 {
+		return nil
+	}
+	rate := float64(kp) / float64(kp+kn)
+	sup := float64(t.Total()) / rows
+	div := rate - globalRate
+	return &ExplorePattern{
+		Items:      itemNameList(cat, items),
+		Support:    sup,
+		Rate:       rate,
+		Divergence: div,
+		T:          stats.WelchTPosterior(stats.NewPosteriorRate(float64(kp), float64(kn)), globalPost),
+		SupportLo:  sup, SupportHi: sup,
+		RateLo: rate, RateHi: rate,
+		DivergenceLo: div, DivergenceHi: div,
+	}
+}
+
+// explorePatterns converts ranked estimates to the wire format.
+func explorePatterns(cat *fpm.Catalog, top []core.RankedEstimate) []ExplorePattern {
+	out := make([]ExplorePattern, len(top))
+	for i, e := range top {
+		out[i] = ExplorePattern{
+			Items:        itemNameList(cat, e.Items),
+			Support:      e.Support,
+			Rate:         e.Rate,
+			Divergence:   e.Divergence,
+			T:            e.T,
+			SupportLo:    e.SupportLo,
+			SupportHi:    e.SupportHi,
+			RateLo:       e.RateLo,
+			RateHi:       e.RateHi,
+			DivergenceLo: e.DivergenceLo,
+			DivergenceHi: e.DivergenceHi,
+		}
+	}
+	return out
+}
+
+// partialPatterns converts ranked estimates to snapshot entries.
+func partialPatterns(cat *fpm.Catalog, top []core.RankedEstimate) []PartialPattern {
+	out := make([]PartialPattern, len(top))
+	for i, e := range top {
+		out[i] = PartialPattern{
+			Items:      itemNameList(cat, e.Items),
+			Support:    e.Support,
+			Rate:       e.Rate,
+			Divergence: e.Divergence,
+		}
+	}
+	return out
+}
+
+// SubmitExplore enqueues an anytime exploration as an asynchronous job:
+// it runs on the worker pool, streams top-K refinements through the
+// job's partial-result snapshots, and finishes with a final snapshot
+// whose Reason field carries the completion reason. The job's Result()
+// is never populated; the outcome is read with Job.Explore().
+func (e *Engine) SubmitExplore(spec ExploreSpec) (*Job, error) {
+	if _, err := e.validateExplore(&spec); err != nil {
+		return nil, err
+	}
+	id, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+	// The synthesized Spec keeps the WAL records and status endpoints
+	// meaningful for explore jobs.
+	jspec := Spec{
+		Dataset: spec.Dataset, TruthCol: spec.TruthCol, PredCol: spec.PredCol,
+		Support: spec.Support, Metrics: []string{spec.Metric}, TopK: spec.TopK,
+	}
+	job := &Job{id: id, spec: jspec, explore: &spec, state: StateQueued, created: time.Now()}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.draining {
+		e.rejected.Add(1)
+		return nil, ErrShuttingDown
+	}
+	if st := e.store.Load(); st != nil {
+		rec := Record{Type: RecSubmitted, Job: id, Time: job.created, Spec: &jspec}
+		if err := st.Append(rec); err != nil {
+			e.storeErrs.Add(1)
+			e.rejected.Add(1)
+			return nil, fmt.Errorf("jobs: write-ahead submit: %w", err)
+		}
+	}
+	e.jobsMu.Lock()
+	e.jobs[id] = job
+	e.jobsMu.Unlock()
+	select {
+	case e.queue <- job:
+		e.submitted.Add(1)
+		return job, nil
+	default:
+		e.jobsMu.Lock()
+		delete(e.jobs, id)
+		e.jobsMu.Unlock()
+		e.rejected.Add(1)
+		e.logRecord(Record{Type: RecRejected, Job: id, Error: ErrQueueFull.Error()})
+		return nil, ErrQueueFull
+	}
+}

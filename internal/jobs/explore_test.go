@@ -1,0 +1,257 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+func sampleExploreSpec(h registry.Hash) ExploreSpec {
+	return ExploreSpec{
+		Dataset:  h,
+		TruthCol: "truth",
+		PredCol:  "pred",
+		Support:  0.05,
+		Metric:   "ER",
+		TopK:     10,
+	}
+}
+
+// TestExploreMatchesFullAnalysis: an unbudgeted explore must agree with
+// the exhaustive analysis pipeline's |Δ| leaderboard exactly.
+func TestExploreMatchesFullAnalysis(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	out, err := e.Explore(context.Background(), sampleExploreSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != "exhausted" || out.Partial || out.CacheHit || out.Sampled {
+		t.Fatalf("unbudgeted explore outcome: %+v", out)
+	}
+	if out.Metric != "ER" || len(out.Top) == 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+
+	res, err := e.Analyze(context.Background(), Spec{
+		Dataset: h, TruthCol: "truth", PredCol: "pred", Support: 0.05, Metrics: []string{"ER"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := core.MetricByName("ER")
+	want := res.TopK(m, 10, core.ByAbsDivergence)
+	if len(out.Top) != len(want) {
+		t.Fatalf("%d patterns, full analysis ranks %d", len(out.Top), len(want))
+	}
+	for i, p := range out.Top {
+		wantNames := make([]string, len(want[i].Items))
+		for j, it := range want[i].Items {
+			wantNames[j] = res.DB.Catalog.Name(it)
+		}
+		if !reflect.DeepEqual(p.Items, wantNames) ||
+			p.Support != want[i].Support || p.Rate != want[i].Rate ||
+			p.Divergence != want[i].Divergence || p.T != want[i].T {
+			t.Fatalf("rank %d: %+v, full analysis %+v (%v)", i, p, want[i], wantNames)
+		}
+		if p.SupportLo != p.Support || p.DivergenceHi != p.Divergence {
+			t.Fatalf("rank %d: exact run has non-degenerate bounds: %+v", i, p)
+		}
+	}
+}
+
+// TestExploreCacheAndBudgets: complete outcomes are cached (budgets
+// excluded from the key), budgeted/partial outcomes are not, and a
+// cached complete outcome truthfully serves a budgeted re-ask.
+func TestExploreCacheAndBudgets(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	spec := sampleExploreSpec(h)
+
+	first, err := e.Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mines := e.ExploreStatsSnapshot().Mines
+
+	again, err := e.Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit || again.Partial {
+		t.Fatalf("repeat explore: cache_hit=%v partial=%v", again.CacheHit, again.Partial)
+	}
+	if !reflect.DeepEqual(again.Top, first.Top) {
+		t.Fatal("cached outcome differs from the original")
+	}
+	if got := e.ExploreStatsSnapshot().Mines; got != mines {
+		t.Fatalf("cache hit ran a mine: %d -> %d", mines, got)
+	}
+
+	// A budgeted re-ask of the same (cached, complete) question is a
+	// cache hit too — and is NOT partial, because the cached answer is
+	// complete.
+	budgeted := spec
+	budgeted.MaxPatterns = 1
+	b, err := e.Explore(context.Background(), budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit || b.Partial {
+		t.Fatalf("budgeted re-ask of cached question: %+v", b)
+	}
+
+	// A budgeted first-ask of a NEW question mines, truncates, and must
+	// not be cached.
+	fresh := spec
+	fresh.Support = 0.25
+	fresh.MaxPatterns = 1
+	p1, err := e.Explore(context.Background(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit || !p1.Partial || p1.Reason != "budget" || p1.Visited != 1 {
+		t.Fatalf("budgeted first ask: %+v", p1)
+	}
+	p2, err := e.Explore(context.Background(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CacheHit {
+		t.Fatal("a partial outcome was served from the cache")
+	}
+}
+
+// TestExpandPerformsNoMine is the no-re-mine guarantee: navigation
+// moves the expand counters, never the mine counter, and each
+// refinement carries exact statistics.
+func TestExpandPerformsNoMine(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	spec := sampleExploreSpec(h)
+	out, err := e.Explore(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mines := e.ExploreStatsSnapshot().Mines
+
+	// Expand the root, then drill the top pattern's first refinement.
+	root, err := e.Expand(ExpandSpec{
+		Dataset: h, TruthCol: "truth", PredCol: "pred", Support: 0.05, Metric: "ER",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Refinements) == 0 {
+		t.Fatal("root expand found no singletons")
+	}
+	drill, err := e.Expand(ExpandSpec{
+		Dataset: h, TruthCol: "truth", PredCol: "pred", Support: 0.05, Metric: "ER",
+		Pattern: root.Refinements[0].Items, Attr: "region",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range drill.Refinements {
+		if len(r.Items) != 2 {
+			t.Fatalf("drill refinement %v is not parent+1", r.Items)
+		}
+	}
+
+	st := e.ExploreStatsSnapshot()
+	if st.Mines != mines {
+		t.Fatalf("expand/drill ran a mine: %d -> %d", mines, st.Mines)
+	}
+	if st.Expands != 2 {
+		t.Fatalf("expand counter = %d, want 2", st.Expands)
+	}
+	if st.Sessions < 1 || st.Navigation.RowsScanned == 0 {
+		t.Fatalf("navigation stats not accounted: %+v", st)
+	}
+
+	// Cross-check a refinement against the explore leaderboard: the
+	// root singletons include every size-1 leaderboard pattern with the
+	// same statistics.
+	byName := map[string]ExplorePattern{}
+	for _, r := range root.Refinements {
+		byName[r.Items[0]] = r
+	}
+	for _, p := range out.Top {
+		if len(p.Items) != 1 {
+			continue
+		}
+		r, ok := byName[p.Items[0]]
+		if !ok {
+			t.Fatalf("leaderboard singleton %v missing from root expand", p.Items)
+		}
+		if r.Support != p.Support || r.Rate != p.Rate || r.Divergence != p.Divergence || r.T != p.T {
+			t.Fatalf("singleton %v: expand %+v, explore %+v", p.Items, r, p)
+		}
+	}
+}
+
+// TestSubmitExploreStreams: the async path runs an exploration through
+// the job lifecycle, and the final partial-result snapshot carries the
+// completion reason.
+func TestSubmitExploreStreams(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	job, err := e.SubmitExplore(sampleExploreSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("explore job ended %s (%s)", st.State, st.Err)
+	}
+	out, err := job.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Reason != "exhausted" || len(out.Top) == 0 {
+		t.Fatalf("async outcome: %+v", out)
+	}
+	snap := job.Partial()
+	if snap == nil {
+		t.Fatal("explore job published no snapshot")
+	}
+	if snap.Reason != "exhausted" {
+		t.Fatalf("final snapshot reason %q, want exhausted", snap.Reason)
+	}
+	if len(snap.Top) == 0 || snap.Patterns != out.Visited {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+	if _, err := job.Result(); err == nil {
+		t.Fatal("explore job served a full analysis result")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	ctx := context.Background()
+	bad := func(mutate func(*ExploreSpec)) error {
+		s := sampleExploreSpec(h)
+		mutate(&s)
+		_, err := e.Explore(ctx, s)
+		return err
+	}
+	cases := map[string]func(*ExploreSpec){
+		"support":  func(s *ExploreSpec) { s.Support = 1.5 },
+		"metric":   func(s *ExploreSpec) { s.Metric = "nope" },
+		"budget":   func(s *ExploreSpec) { s.BudgetMS = -1 },
+		"conf":     func(s *ExploreSpec) { s.Confidence = 1 },
+		"dataset":  func(s *ExploreSpec) { s.Dataset = "missing" },
+		"truthcol": func(s *ExploreSpec) { s.TruthCol = "ghost" },
+	}
+	for name, mutate := range cases {
+		if err := bad(mutate); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: error %v, want ErrBadInput", name, err)
+		}
+	}
+	if _, err := e.Expand(ExpandSpec{
+		Dataset: h, TruthCol: "truth", PredCol: "pred", Support: 0.05,
+		Pattern: []string{"group=A", "group=B"},
+	}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("doubly-bound expand: %v", err)
+	}
+}

@@ -128,12 +128,17 @@ func (s Spec) CacheKey() string {
 type Job struct {
 	id   string
 	spec Spec
+	// explore, when non-nil, marks an anytime exploration job
+	// (SubmitExplore); run() routes it to the explore path instead of a
+	// full analysis.
+	explore *ExploreSpec
 
 	mu        sync.Mutex
-	state     State
-	err       error
-	result    *core.Result
-	summary   *ResultSummary
+	state      State
+	err        error
+	result     *core.Result
+	exploreOut *ExploreOutcome
+	summary    *ResultSummary
 	recovered bool
 	cacheHit  bool
 	created   time.Time
@@ -172,6 +177,24 @@ func (j *Job) Result() (*core.Result, error) {
 			return nil, fmt.Errorf("%w: job %s", ErrNoResult, j.id)
 		}
 		return j.result, nil
+	case StateFailed:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", j.id, j.state)
+	}
+}
+
+// Explore returns the anytime-exploration outcome of a done explore
+// job (SubmitExplore). Analysis jobs and unfinished jobs have none.
+func (j *Job) Explore() (*ExploreOutcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		if j.exploreOut == nil {
+			return nil, fmt.Errorf("jobs: job %s is not an explore job", j.id)
+		}
+		return j.exploreOut, nil
 	case StateFailed:
 		return nil, j.err
 	default:

@@ -31,6 +31,10 @@ type Snapshot struct {
 	Metric   string           `json:"metric,omitempty"`
 	Top      []PartialPattern `json:"top"`
 	Updated  time.Time        `json:"updated"`
+	// Reason is set only by the final snapshot of an anytime exploration:
+	// "exhausted", "deadline" or "budget". Empty on mid-stream snapshots
+	// and on full-analysis jobs.
+	Reason string `json:"reason,omitempty"`
 }
 
 // MetricSummary is the per-metric slice of a durable result summary.

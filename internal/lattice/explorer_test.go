@@ -1,0 +1,258 @@
+package lattice
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/fpm"
+)
+
+// randomDB builds a seeded random TxDB for oracle checks.
+func randomDB(t testing.TB, seed int64, rows, attrs, maxCard int) *fpm.TxDB {
+	t.Helper()
+	g, err := datagen.Random(seed, datagen.RandomConfig{Rows: rows, Attrs: attrs, MaxCard: maxCard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]uint8, len(g.Truth))
+	for i := range classes {
+		c := uint8(0)
+		if g.Truth[i] {
+			c |= 2
+		}
+		if g.Pred[i] {
+			c |= 1
+		}
+		classes[i] = c
+	}
+	db, err := fpm.NewTxDB(g.Data, classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExpandMatchesDirectScan is the oracle check: every refinement's
+// tally must equal TallyOf's direct scan, and the refinement set must be
+// exactly the frequent extensions over unbound attributes.
+func TestExpandMatchesDirectScan(t *testing.T) {
+	db := randomDB(t, 17, 250, 5, 4)
+	e := NewExplorer(db, 0)
+	c := db.Catalog
+	const minCount = 5
+
+	var walk func(pattern fpm.Itemset, depth int)
+	walk = func(pattern fpm.Itemset, depth int) {
+		refs, err := e.Expand(pattern, minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[fpm.Item]fpm.Tally, len(refs))
+		for _, r := range refs {
+			got[r.Item] = r.Tally
+			if want := pattern.Union(fpm.Itemset{r.Item}); !r.Items.Equal(want) {
+				t.Fatalf("refinement items %v, want %v", r.Items, want)
+			}
+		}
+		bound := make(map[int]bool)
+		for _, it := range pattern {
+			bound[c.Attr(it)] = true
+		}
+		for it := fpm.Item(0); int(it) < c.NumItems(); it++ {
+			want := db.TallyOf(pattern.Union(fpm.Itemset{it}))
+			ref, ok := got[it]
+			switch {
+			case bound[c.Attr(it)] || want.Total() < minCount:
+				if ok {
+					t.Fatalf("expand(%v) wrongly includes item %s (support %d)",
+						pattern, c.Name(it), want.Total())
+				}
+			case !ok:
+				t.Fatalf("expand(%v) misses frequent item %s (support %d)",
+					pattern, c.Name(it), want.Total())
+			case ref != want:
+				t.Fatalf("expand(%v) item %s tally %v, direct scan %v",
+					pattern, c.Name(it), ref, want)
+			}
+		}
+		if depth < 2 {
+			for _, r := range refs[:min(len(refs), 3)] {
+				walk(r.Items, depth+1)
+			}
+		}
+	}
+	walk(nil, 0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDrill(t *testing.T) {
+	db := randomDB(t, 17, 250, 5, 4)
+	e := NewExplorer(db, 0)
+	c := db.Catalog
+	refs, err := e.Expand(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := refs[0].Items
+
+	drilled, err := e.Drill(base, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drilled) == 0 {
+		t.Fatal("drill along attribute 2 found nothing at minCount 1")
+	}
+	for _, r := range drilled {
+		if c.Attr(r.Item) != 2 {
+			t.Fatalf("drill(attr=2) returned item %s of attribute %d", c.Name(r.Item), c.Attr(r.Item))
+		}
+		if want := db.TallyOf(r.Items); r.Tally != want {
+			t.Fatalf("drill tally %v, direct scan %v", r.Tally, want)
+		}
+	}
+	// Drilling a bound attribute is an error.
+	if _, err := e.Drill(base, c.Attr(base[0]), 1); err == nil {
+		t.Fatal("drill along a bound attribute succeeded")
+	}
+	if _, err := e.Drill(base, 99, 1); err == nil {
+		t.Fatal("drill along an out-of-range attribute succeeded")
+	}
+}
+
+func TestExplorerTally(t *testing.T) {
+	db := randomDB(t, 23, 200, 4, 3)
+	e := NewExplorer(db, 0)
+	if got, err := e.Tally(nil); err != nil || got != db.TotalTally() {
+		t.Fatalf("Tally(∅) = %v, %v", got, err)
+	}
+	refs, err := e.Expand(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs[:min(len(refs), 4)] {
+		got, err := e.Tally(r.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := db.TallyOf(r.Items); got != want {
+			t.Fatalf("Tally(%v) = %v, want %v", r.Items, got, want)
+		}
+	}
+}
+
+func TestExplorerValidation(t *testing.T) {
+	db := randomDB(t, 23, 100, 3, 3)
+	e := NewExplorer(db, 0)
+	if _, err := e.Expand(nil, 0); err == nil {
+		t.Error("minCount 0 accepted")
+	}
+	if _, err := e.Expand(fpm.Itemset{fpm.Item(9999)}, 1); err == nil {
+		t.Error("out-of-catalog item accepted")
+	}
+	if _, err := e.Expand(fpm.Itemset{3, 1}, 1); err == nil {
+		t.Error("unsorted pattern accepted")
+	}
+	// Two values of attribute 0.
+	twice := fpm.Itemset{db.Catalog.ItemFor(0, 0), db.Catalog.ItemFor(0, 1)}
+	if _, err := e.Expand(twice, 1); err == nil {
+		t.Error("doubly-bound attribute accepted")
+	}
+}
+
+// TestExplorerCache: repeated expands hit the LRU; tiny capacities evict
+// but never corrupt; the row-scan counter proves narrowed (not full)
+// scans.
+func TestExplorerCache(t *testing.T) {
+	db := randomDB(t, 31, 300, 4, 3)
+	e := NewExplorer(db, 8)
+
+	refs, err := e.Expand(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := e.Stats()
+	if s0.Misses != 1 || s0.Entries != 1 || s0.RowsScanned != 300 {
+		t.Fatalf("after first expand: %+v", s0)
+	}
+	if _, err := e.Expand(nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	s1 := e.Stats()
+	if s1.Hits != s0.Hits+1 || s1.RowsScanned != s0.RowsScanned {
+		t.Fatalf("second expand did not hit the cache: %+v", s1)
+	}
+
+	// Expanding a child narrows the parent's cover: the extra rows
+	// scanned are the child's cover, not the whole dataset.
+	child := refs[0]
+	if _, err := e.Expand(child.Items, 3); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Stats()
+	scanned := s2.RowsScanned - s1.RowsScanned
+	if scanned != child.Tally.Total() {
+		t.Fatalf("child expand scanned %d rows, want its cover %d", scanned, child.Tally.Total())
+	}
+
+	// Churn far past capacity; every answer must stay oracle-exact.
+	for _, r := range refs {
+		got, err := e.Expand(r.Items, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range got {
+			if want := db.TallyOf(g.Items); g.Tally != want {
+				t.Fatalf("post-eviction tally %v, want %v", g.Tally, want)
+			}
+		}
+	}
+	s3 := e.Stats()
+	if s3.Entries > 8 {
+		t.Fatalf("cache holds %d entries, capacity 8", s3.Entries)
+	}
+}
+
+func BenchmarkLatticeExpand(b *testing.B) {
+	g, err := datagen.Random(7, datagen.RandomConfig{Rows: 20000, Attrs: 12, MaxCard: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := make([]uint8, len(g.Truth))
+	for i := range classes {
+		if g.Pred[i] {
+			classes[i] = 1
+		}
+	}
+	db, err := fpm.NewTxDB(g.Data, classes, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewExplorer(db, 0)
+	refs, err := e.Expand(nil, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold := NewExplorer(db, 0)
+			if _, err := cold.Expand(refs[i%len(refs)].Items, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Expand(refs[i%len(refs)].Items, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

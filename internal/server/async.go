@@ -212,6 +212,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, msg)
 		return
 	}
+	// An explore job's outcome is its result; it never has the full
+	// analysis payload the ladder below serves.
+	if out, xerr := job.Explore(); xerr == nil {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
 	res, err := job.Result()
 	fromMemory := err == nil
 	switch {

@@ -23,6 +23,11 @@
 //	GET    /jobs/{id}/events Server-Sent Events stream of partial
 //	                       snapshots and state transitions
 //	DELETE /jobs/{id}        cancel a queued or running job
+//	POST   /explore        anytime exploration of a registered dataset
+//	                       (JSON body): budgeted top-K by |divergence|,
+//	                       sampled mining with confidence intervals, and
+//	                       lattice navigation ("expand") from a named
+//	                       pattern; "async": true submits it as a job
 //	POST   /monitors         create a streaming divergence monitor (JSON spec)
 //	GET    /monitors         list live monitors
 //	GET    /monitors/{id}    monitor snapshot: top-K divergent subgroups,
@@ -181,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/partial", s.handleJobPartial)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("POST /explore", s.handleExplore)
 	mux.HandleFunc("POST /monitors", s.handleMonitorCreate)
 	mux.HandleFunc("GET /monitors", s.handleMonitorList)
 	mux.HandleFunc("GET /monitors/{id}", s.handleMonitorGet)

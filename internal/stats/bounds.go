@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Error bounds for the sampled mining tier (DESIGN.md §14). Two
+// complementary interval constructions back the anytime explorer's
+// estimates:
+//
+//   - HoeffdingRadius bounds the support estimate of every pattern
+//     simultaneously well: it depends only on the sample size, so the
+//     same half-width annotates all patterns of one sampled mine.
+//   - WilsonInterval bounds an outcome *rate* (a binomial proportion
+//     conditioned on the pattern's covered, non-⊥ rows); unlike the
+//     normal approximation it stays inside [0,1] and behaves at small
+//     counts and extreme rates.
+//
+// Both assume the sample rows are drawn uniformly from the dataset.
+// Sampling here is without replacement, for which Hoeffding's bound
+// remains valid (Serfling's refinement is strictly tighter, so the
+// reported intervals are conservative).
+
+// NormalQuantile returns z such that a standard normal variable lies in
+// [-z, z] with probability confidence — the two-sided critical value
+// (e.g. ≈1.96 for 0.95). confidence must be in (0, 1).
+func NormalQuantile(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		return math.NaN()
+	}
+	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
+// HoeffdingRadius returns the half-width ε of the two-sided Hoeffding
+// confidence interval for a mean of n i.i.d. [0,1]-valued draws:
+//
+//	P(|p̂ − p| ≥ ε) ≤ 2·exp(−2nε²) = 1 − confidence
+//	⇒ ε = sqrt(ln(2/(1−confidence)) / (2n))
+//
+// It is distribution-free: the same ε holds for every pattern's support
+// estimated from the same n sampled rows, no matter how rare the
+// pattern. NaN is returned for n < 1 or confidence outside (0, 1).
+func HoeffdingRadius(n int, confidence float64) float64 {
+	if n < 1 || confidence <= 0 || confidence >= 1 {
+		return math.NaN()
+	}
+	return math.Sqrt(math.Log(2/(1-confidence)) / (2 * float64(n)))
+}
+
+// WilsonInterval returns the Wilson score interval [lo, hi] for a
+// binomial proportion observed as k successes in n trials, at the given
+// two-sided confidence level. The interval is asymmetric around k/n,
+// always inside [0, 1], and well-behaved for k = 0 or k = n. For n = 0
+// there is no information and the interval is the whole unit range.
+func WilsonInterval(k, n int64, confidence float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	z := NormalQuantile(confidence)
+	if math.IsNaN(z) {
+		return math.NaN(), math.NaN()
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ conf, want float64 }{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.conf); math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want ≈%v", c.conf, got, c.want)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if got := NormalQuantile(bad); !math.IsNaN(got) {
+			t.Errorf("NormalQuantile(%v) = %v, want NaN", bad, got)
+		}
+	}
+}
+
+func TestHoeffdingRadius(t *testing.T) {
+	// Known value: n=1000, conf=0.95 ⇒ sqrt(ln(40)/2000) ≈ 0.042944.
+	if got := HoeffdingRadius(1000, 0.95); math.Abs(got-0.042944) > 1e-5 {
+		t.Errorf("HoeffdingRadius(1000, 0.95) = %v", got)
+	}
+	// Monotone: more rows shrink the radius, higher confidence widens it.
+	if HoeffdingRadius(100, 0.95) <= HoeffdingRadius(400, 0.95) {
+		t.Error("radius did not shrink with sample size")
+	}
+	if HoeffdingRadius(100, 0.99) <= HoeffdingRadius(100, 0.9) {
+		t.Error("radius did not widen with confidence")
+	}
+	if !math.IsNaN(HoeffdingRadius(0, 0.95)) || !math.IsNaN(HoeffdingRadius(100, 1)) {
+		t.Error("degenerate inputs must return NaN")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100, 0.95)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Errorf("Wilson(50/100) = [%v, %v] does not contain 0.5", lo, hi)
+	}
+	if lo < 0.40 || hi > 0.60 {
+		t.Errorf("Wilson(50/100) = [%v, %v] implausibly wide", lo, hi)
+	}
+	// Edge counts stay inside the unit interval and keep width.
+	lo, hi = WilsonInterval(0, 20, 0.95)
+	if lo != 0 || hi <= 0 || hi >= 0.4 {
+		t.Errorf("Wilson(0/20) = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(20, 20, 0.95)
+	if hi != 1 || lo >= 1 || lo <= 0.6 {
+		t.Errorf("Wilson(20/20) = [%v, %v]", lo, hi)
+	}
+	// No trials: no information.
+	if lo, hi = WilsonInterval(0, 0, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0/0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+// TestWilsonCoverageSimulation checks the interval's defining property
+// empirically: across repeated binomial draws the true proportion lands
+// inside the 95% interval at very nearly the nominal frequency.
+func TestWilsonCoverageSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials, covered := 0, 0
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.9} {
+		for rep := 0; rep < 500; rep++ {
+			const n = 60
+			k := int64(0)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < p {
+					k++
+				}
+			}
+			lo, hi := WilsonInterval(k, n, 0.95)
+			trials++
+			if lo <= p && p <= hi {
+				covered++
+			}
+		}
+	}
+	if cov := float64(covered) / float64(trials); cov < 0.93 {
+		t.Errorf("Wilson 95%% interval covered the truth only %.1f%% of the time", 100*cov)
+	}
+}

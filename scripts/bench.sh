@@ -12,6 +12,12 @@
 #   BenchmarkWindowAdvance               the O(bucket) advance across
 #                                        window lengths — flat ns/op is
 #                                        the design's acceptance bar
+#   BenchmarkAnytimeTopK                 the anytime top-K explore:
+#                                        exhaustive vs. pattern-budgeted
+#                                        vs. row-sampled on one dataset
+#   BenchmarkLatticeExpand               one navigation step, cold
+#                                        (narrowed scan) vs. warm
+#                                        (conditional-tally cache hit)
 #
 # — and writes them as BENCH_<date>.json (schema divex-bench/v1, see
 # internal/benchfmt) in the repository root. Committing the file after a
@@ -40,6 +46,10 @@ echo "==> benchmarks (-benchtime ${benchtime}, -benchmem)"
         -bench '^(BenchmarkRegistryRegister|BenchmarkRegistryGetDiskFallthrough)$' ./internal/registry
     go test -run=NONE -benchmem -benchtime="${benchtime}" \
         -bench '^(BenchmarkMonitorIngest|BenchmarkWindowAdvance)$' ./internal/monitor
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^BenchmarkAnytimeTopK$' ./internal/core
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^BenchmarkLatticeExpand$' ./internal/lattice
 } | tee /dev/stderr | go run ./cmd/benchfmt -date "${date}" -out "${out}"
 
 echo "bench: snapshot written to ${out}"

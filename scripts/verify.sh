@@ -35,6 +35,14 @@
 #                                  vs. window advance vs. delete, plus
 #                                  the drift-to-SSE e2e, are the
 #                                  timing-sensitive paths
+#   6c. anytime-race tier          the anytime exploration tier twice
+#                                  more under -race: budgeted mining
+#                                  (deadline cuts vs. warm-state reuse),
+#                                  lattice-navigation cache churn and
+#                                  the /explore endpoint are the
+#                                  timing-sensitive paths, and the
+#                                  byte-identity differential must hold
+#                                  under the race detector too
 #   7. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
@@ -84,10 +92,16 @@ echo "==> monitor-race tier (streaming ingest/advance/delete, -count=2)"
 go test -race -count=2 ./internal/monitor/...
 go test -race -run 'Monitor|Statsz' ./internal/server
 
+echo "==> anytime-race tier (budgeted mining + lattice navigation + /explore, -count=2)"
+go test -race -count=2 -run 'Anytime|SampleRows' ./internal/fpm ./internal/core
+go test -race -count=2 ./internal/lattice/...
+go test -race -count=2 -run 'Explore|ParseExploreBody' ./internal/jobs ./internal/server
+
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
 go test -run=NONE -fuzz='^FuzzDiscretize$' -fuzztime=10s ./internal/discretize
 go test -run=NONE -fuzz='^FuzzParseEvent$' -fuzztime=10s ./internal/monitor
+go test -run=NONE -fuzz='^FuzzExploreRequest$' -fuzztime=10s ./internal/server
 
 echo "==> coverage summary (jobs, fpm)"
 go test -cover ./internal/jobs ./internal/fpm | awk '{print "    " $0}'
