@@ -63,6 +63,10 @@ func main() {
 			"anytime-explore outcome cache capacity in entries (POST /explore)")
 		exploreSessions = flag.Int("explore-sessions", 16,
 			"max resident lattice-navigation sessions (one per dataset and label-column pair)")
+		sigCache = flag.Int("sig-cache", 64,
+			"significance outcome cache capacity in entries (POST /significance)")
+		maxPermutations = flag.Int("max-permutations", 100000,
+			"max label permutations a significance request may ask for")
 		monitorQueue = flag.Int("monitor-queue", 64,
 			"per-monitor ingest buffer in batches before ingest gets HTTP 429")
 		maxMonitors = flag.Int("max-monitors", 32,
@@ -85,14 +89,16 @@ func main() {
 			*spillDir, st.Files, st.Bytes)
 	}
 	engine, err := jobs.New(jobs.Config{
-		Registry:           reg,
-		Workers:            *workers,
-		QueueDepth:         *queueDepth,
-		ResultCacheEntries: *resultCache,
-		DefaultTimeout:     *jobTimeout,
-		SnapshotEvery:      *snapshotEvery,
-		ExploreCacheEntries: *exploreCache,
-		ExploreSessions:     *exploreSessions,
+		Registry:                 reg,
+		Workers:                  *workers,
+		QueueDepth:               *queueDepth,
+		ResultCacheEntries:       *resultCache,
+		DefaultTimeout:           *jobTimeout,
+		SnapshotEvery:            *snapshotEvery,
+		ExploreCacheEntries:      *exploreCache,
+		ExploreSessions:          *exploreSessions,
+		SignificanceCacheEntries: *sigCache,
+		MaxPermutations:          *maxPermutations,
 	})
 	if err != nil {
 		log.Fatal(err)

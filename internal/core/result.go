@@ -240,33 +240,43 @@ func (r *Result) RankAll(m Metric, order RankOrder) []Ranked {
 			rs = append(rs, rk)
 		}
 	}
-	key := func(x Ranked) float64 {
-		switch order {
-		case ByAbsDivergence:
-			return math.Abs(x.Divergence)
-		case ByNegDivergence:
-			return -x.Divergence
-		default:
-			return x.Divergence
-		}
-	}
 	sort.Slice(rs, func(i, j int) bool {
-		ki, kj := key(rs[i]), key(rs[j])
-		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
-		if ki != kj {
-			return ki > kj
-		}
-		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
-		if rs[i].T != rs[j].T {
-			return rs[i].T > rs[j].T
-		}
-		// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
-		if rs[i].Support != rs[j].Support {
-			return rs[i].Support > rs[j].Support
-		}
-		return lessItemsets(rs[i].Items, rs[j].Items)
+		return lessRankedBy(rs[i], rs[j], order)
 	})
 	return rs
+}
+
+// rankKeyOf is the primary sort key of a Ranked pattern under an order.
+func rankKeyOf(x Ranked, order RankOrder) float64 {
+	switch order {
+	case ByAbsDivergence:
+		return math.Abs(x.Divergence)
+	case ByNegDivergence:
+		return -x.Divergence
+	default:
+		return x.Divergence
+	}
+}
+
+// lessRankedBy is the ranking comparator shared by every API that
+// reports patterns in ranking order: key descending, then higher
+// t-statistic, then higher support, then lexicographic itemset order,
+// for determinism.
+func lessRankedBy(a, b Ranked, order RankOrder) bool {
+	ka, kb := rankKeyOf(a, order), rankKeyOf(b, order)
+	// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
+	if ka != kb {
+		return ka > kb
+	}
+	// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
+	if a.T != b.T {
+		return a.T > b.T
+	}
+	// lint:ignore floatcmp exact tie-break on computed sort keys keeps ordering deterministic
+	if a.Support != b.Support {
+		return a.Support > b.Support
+	}
+	return lessItemsets(a.Items, b.Items)
 }
 
 func lessItemsets(a, b fpm.Itemset) bool {

@@ -22,6 +22,13 @@ func Artificial(seed int64) *Generated {
 	return artificialSized(seed, ArtificialRows)
 }
 
+// ArtificialSized is Artificial with a custom row count — smaller
+// instances keep statistical-validity tests (planted-effect recovery
+// under permutation testing) fast while preserving the construction.
+func ArtificialSized(seed int64, n int) *Generated {
+	return artificialSized(seed, n)
+}
+
 // artificialSized supports smaller instances for fast tests.
 func artificialSized(seed int64, n int) *Generated {
 	rng := rand.New(rand.NewSource(seed))

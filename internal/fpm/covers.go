@@ -1,0 +1,106 @@
+package fpm
+
+// The tally re-fold seam for permutation testing (DESIGN.md §15).
+//
+// Itemset covers — which rows an itemset matches — depend only on the
+// attribute values, never on the outcome labels. A label permutation
+// therefore leaves every cover (and so every support) untouched, and
+// re-tallying an itemset under permuted labels is a single fold over its
+// precomputed cover instead of a re-mine. CoverIndex materializes the
+// covers of a fixed itemset list as one flat int32 arena so the
+// permutation engine's inner loop is a pure sequential scan: no pointer
+// chasing, no per-itemset allocation, no re-scanning the dataset.
+
+// CoverIndex holds the support sets of a fixed list of itemsets over one
+// transaction database, packed into a single flat row-index arena.
+// Cover i occupies rows[offs[i]:offs[i+1]]; row indexes within a cover
+// are ascending. The index is immutable after construction and safe for
+// concurrent readers.
+type CoverIndex struct {
+	offs    []int32
+	rows    []int32
+	numRows int
+}
+
+// BuildCoverIndex computes the cover of every itemset by intersecting
+// from each itemset's rarest item's posting list. Construction is a cold
+// path: it scans the dataset once to build per-item postings, then
+// filters the shortest posting per itemset with direct row-value checks.
+func BuildCoverIndex(db *TxDB, itemsets []Itemset) *CoverIndex {
+	n := db.NumRows()
+	k := db.Catalog.NumItems()
+
+	// Posting lists, flat: postRows[postOffs[it]:postOffs[it+1]] are the
+	// rows containing item it, ascending.
+	postLen := make([]int32, k)
+	for _, row := range db.Data.Rows {
+		for a, v := range row {
+			postLen[db.Catalog.ItemFor(a, v)]++
+		}
+	}
+	postOffs := make([]int32, k+1)
+	for it := 0; it < k; it++ {
+		postOffs[it+1] = postOffs[it] + postLen[it]
+	}
+	cursor := make([]int32, k)
+	copy(cursor, postOffs[:k])
+	postRows := make([]int32, postOffs[k])
+	for r, row := range db.Data.Rows {
+		for a, v := range row {
+			it := db.Catalog.ItemFor(a, v)
+			postRows[cursor[it]] = int32(r)
+			cursor[it]++
+		}
+	}
+
+	c := &CoverIndex{
+		offs:    make([]int32, 1, len(itemsets)+1),
+		numRows: n,
+	}
+	for _, is := range itemsets {
+		if len(is) == 0 {
+			// The empty itemset covers everything.
+			for r := 0; r < n; r++ {
+				c.rows = append(c.rows, int32(r))
+			}
+			c.offs = append(c.offs, int32(len(c.rows)))
+			continue
+		}
+		rarest := is[0]
+		for _, it := range is[1:] {
+			if postLen[it] < postLen[rarest] {
+				rarest = it
+			}
+		}
+		for _, r := range postRows[postOffs[rarest]:postOffs[rarest+1]] {
+			if db.Covers(int(r), is) {
+				c.rows = append(c.rows, r)
+			}
+		}
+		c.offs = append(c.offs, int32(len(c.rows)))
+	}
+	return c
+}
+
+// Len returns the number of indexed itemsets.
+func (c *CoverIndex) Len() int { return len(c.offs) - 1 }
+
+// NumRows returns the row count of the underlying database.
+func (c *CoverIndex) NumRows() int { return c.numRows }
+
+// Cover returns the row indexes covered by itemset i, ascending. The
+// slice aliases the shared arena: callers must not modify it.
+func (c *CoverIndex) Cover(i int) []int32 {
+	return c.rows[c.offs[i]:c.offs[i+1]]
+}
+
+// Refold recomputes the tally of itemset i under an arbitrary per-row
+// class labelling — the permutation-testing primitive. With the
+// database's own Classes slice it reproduces TallyOf exactly.
+func (c *CoverIndex) Refold(i int, classes []uint8) Tally {
+	var t Tally
+	for _, r := range c.Cover(i) {
+		t[classes[r]]++
+	}
+	return t
+}

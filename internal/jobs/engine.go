@@ -48,6 +48,12 @@ type Config struct {
 	// ExploreSessions bounds the per-dataset navigation-session LRU; 16
 	// when <= 0.
 	ExploreSessions int
+	// SignificanceCacheEntries bounds the significance-outcome LRU; 64
+	// when <= 0.
+	SignificanceCacheEntries int
+	// MaxPermutations caps the permutation count a significance spec may
+	// request; 100000 when <= 0.
+	MaxPermutations int
 }
 
 // Stats is a point-in-time snapshot of the engine counters for /statsz.
@@ -73,6 +79,8 @@ type Stats struct {
 	ResultCache CacheStats `json:"result_cache"`
 	// Explore is the anytime exploration/navigation tier.
 	Explore ExploreStats `json:"explore"`
+	// Significance is the permutation-testing tier.
+	Significance SignificanceStats `json:"significance"`
 }
 
 // Engine is the asynchronous analysis-job engine: a bounded worker pool
@@ -108,6 +116,13 @@ type Engine struct {
 	explores     atomic.Int64
 	exploreMines atomic.Int64
 	expands      atomic.Int64
+
+	// Significance tier: outcome LRU under its own lock, plus counters.
+	sigMu      sync.Mutex
+	sigCache   *keyedLRU
+	sigQueries atomic.Int64
+	sigRuns    atomic.Int64
+	sigPerms   atomic.Int64
 
 	busy       atomic.Int64
 	submitted  atomic.Int64
@@ -149,6 +164,10 @@ func New(cfg Config) (*Engine, error) {
 	if sessionEntries <= 0 {
 		sessionEntries = 16
 	}
+	sigEntries := cfg.SignificanceCacheEntries
+	if sigEntries <= 0 {
+		sigEntries = 64
+	}
 	// lint:ignore ctxflow the engine root context outlives any caller request; it is canceled by Engine.Close, not by whoever happened to construct the engine
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
@@ -163,6 +182,7 @@ func New(cfg Config) (*Engine, error) {
 		workers:    workers,
 		xcache:     exploreCache{c: newKeyedLRU(exploreEntries)},
 		sessions:   newKeyedLRU(sessionEntries),
+		sigCache:   newKeyedLRU(sigEntries),
 	}
 	if cfg.Store != nil {
 		e.store.Store(cfg.Store)
@@ -322,12 +342,17 @@ func (e *Engine) run(job *Job) {
 
 	var res *core.Result
 	var xout *ExploreOutcome
+	var sout *SignificanceOutcome
 	var cacheHit bool
 	var err error
-	if job.explore != nil {
+	switch {
+	case job.explore != nil:
 		xout, err = e.explore(ctx, *job.explore, tr)
 		cacheHit = xout != nil && xout.CacheHit
-	} else {
+	case job.sig != nil:
+		sout, err = e.significance(ctx, *job.sig, tr)
+		cacheHit = sout != nil && sout.CacheHit
+	default:
 		res, cacheHit, err = e.analyzeCached(ctx, job.spec, tr)
 	}
 
@@ -347,6 +372,7 @@ func (e *Engine) run(job *Job) {
 		job.state = StateDone
 		job.result = res
 		job.exploreOut = xout
+		job.sigOut = sout
 		job.summary = sum
 		job.cacheHit = cacheHit
 		e.completed.Add(1)
@@ -443,20 +469,21 @@ func (e *Engine) closeStore() error {
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Workers:     e.workers,
-		Busy:        int(e.busy.Load()),
-		QueueLen:    len(e.queue),
-		QueueCap:    cap(e.queue),
-		Submitted:   e.submitted.Load(),
-		Completed:   e.completed.Load(),
-		Failed:      e.failed.Load(),
-		Canceled:    e.canceled.Load(),
-		Rejected:    e.rejected.Load(),
-		Durable:     e.store.Load() != nil,
-		Recovered:   e.recovered.Load(),
-		Rehydrated:  e.rehydrated.Load(),
-		StoreErrors: e.storeErrs.Load(),
-		ResultCache: e.cache.stats(),
-		Explore:     e.ExploreStatsSnapshot(),
+		Workers:      e.workers,
+		Busy:         int(e.busy.Load()),
+		QueueLen:     len(e.queue),
+		QueueCap:     cap(e.queue),
+		Submitted:    e.submitted.Load(),
+		Completed:    e.completed.Load(),
+		Failed:       e.failed.Load(),
+		Canceled:     e.canceled.Load(),
+		Rejected:     e.rejected.Load(),
+		Durable:      e.store.Load() != nil,
+		Recovered:    e.recovered.Load(),
+		Rehydrated:   e.rehydrated.Load(),
+		StoreErrors:  e.storeErrs.Load(),
+		ResultCache:  e.cache.stats(),
+		Explore:      e.ExploreStatsSnapshot(),
+		Significance: e.SignificanceStatsSnapshot(),
 	}
 }

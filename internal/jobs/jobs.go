@@ -130,21 +130,24 @@ type Job struct {
 	spec Spec
 	// explore, when non-nil, marks an anytime exploration job
 	// (SubmitExplore); run() routes it to the explore path instead of a
-	// full analysis.
+	// full analysis. sig does the same for significance jobs
+	// (SubmitSignificance).
 	explore *ExploreSpec
+	sig     *SignificanceSpec
 
-	mu        sync.Mutex
+	mu         sync.Mutex
 	state      State
 	err        error
 	result     *core.Result
 	exploreOut *ExploreOutcome
+	sigOut     *SignificanceOutcome
 	summary    *ResultSummary
-	recovered bool
-	cacheHit  bool
-	created   time.Time
-	started   time.Time
-	finished  time.Time
-	cancel    func() // non-nil only while running
+	recovered  bool
+	cacheHit   bool
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+	cancel     func() // non-nil only while running
 
 	// recompute, set during recovery from a v2 done record, is the spec
 	// to re-mine the full result from; rehydrateMu single-flights that
@@ -195,6 +198,25 @@ func (j *Job) Explore() (*ExploreOutcome, error) {
 			return nil, fmt.Errorf("jobs: job %s is not an explore job", j.id)
 		}
 		return j.exploreOut, nil
+	case StateFailed:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", j.id, j.state)
+	}
+}
+
+// Significance returns the significance outcome of a done significance
+// job (SubmitSignificance). Other job kinds and unfinished jobs have
+// none.
+func (j *Job) Significance() (*SignificanceOutcome, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		if j.sigOut == nil {
+			return nil, fmt.Errorf("jobs: job %s is not a significance job", j.id)
+		}
+		return j.sigOut, nil
 	case StateFailed:
 		return nil, j.err
 	default:

@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func sigSpec(h registry.Hash) SignificanceSpec {
+	return SignificanceSpec{
+		Dataset:  h,
+		TruthCol: "truth",
+		PredCol:  "pred",
+		Support:  0.1,
+		Metric:   "FPR",
+		Method:   MethodWY,
+		Alpha:    0.1,
+		// sampleCSV has 14 rows: small B keeps the suite fast.
+		Permutations: 200,
+		Seed:         5,
+		TopK:         10,
+	}
+}
+
+func TestSignificanceSync(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	for _, method := range []string{MethodWY, MethodPermFDR, MethodBH} {
+		spec := sigSpec(h)
+		spec.Method = method
+		out, err := e.Significance(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if out.Method != method || out.Metric != "FPR" || out.CacheHit {
+			t.Fatalf("%s: outcome shape %+v", method, out)
+		}
+		if out.Hypotheses == 0 {
+			t.Fatalf("%s: no hypotheses", method)
+		}
+		if method == MethodBH {
+			if out.Permutations != 0 {
+				t.Errorf("bh: permutations %d want 0", out.Permutations)
+			}
+		} else if out.Permutations != 200 {
+			t.Errorf("%s: permutations %d want 200", method, out.Permutations)
+		}
+		if len(out.Top) > out.Rejected {
+			t.Errorf("%s: reported %d of %d rejected", method, len(out.Top), out.Rejected)
+		}
+		for _, p := range out.Top {
+			if p.AdjP < p.P-1e-15 || len(p.Items) == 0 {
+				t.Errorf("%s: malformed pattern %+v", method, p)
+			}
+		}
+	}
+}
+
+func TestSignificanceExhaustiveTinyDataset(t *testing.T) {
+	// sampleCSV has 14 rows — over the exhaustive cap, so exhaustive mode
+	// must be rejected as bad input, not crash.
+	e, h := testEngine(t, Config{Workers: 1})
+	spec := sigSpec(h)
+	spec.Exhaustive = true
+	spec.Permutations = 0
+	if _, err := e.Significance(context.Background(), spec); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("exhaustive over the row cap: %v, want ErrBadInput", err)
+	}
+}
+
+func TestSignificanceCacheHit(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	spec := sigSpec(h)
+	first, err := e.Significance(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Significance(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Fatalf("cache hits: first=%v second=%v", first.CacheHit, second.CacheHit)
+	}
+	// The hit is a copy with only CacheHit flipped.
+	second.CacheHit = false
+	if second.Rejected != first.Rejected || second.Hypotheses != first.Hypotheses ||
+		len(second.Top) != len(first.Top) {
+		t.Fatalf("cache returned a different outcome: %+v vs %+v", second, first)
+	}
+	st := e.SignificanceStatsSnapshot()
+	if st.Queries != 2 || st.Runs != 1 {
+		t.Errorf("stats: %d queries %d runs, want 2/1", st.Queries, st.Runs)
+	}
+	if st.Permutations != 200 {
+		t.Errorf("stats: %d permutations tallied, want 200", st.Permutations)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache stats: %+v", st.Cache)
+	}
+	// An equivalent analytic spec collapses its permutation knobs: two
+	// bh specs differing only in seed share one cache entry.
+	a, b := sigSpec(h), sigSpec(h)
+	a.Method, b.Method = MethodBH, MethodBH
+	b.Seed, b.Permutations = 999, 777
+	if _, err := e.Significance(context.Background(), a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Significance(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.CacheHit {
+		t.Error("normalized bh specs did not share a cache entry")
+	}
+}
+
+func TestSignificanceValidation(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1, MaxPermutations: 500})
+	cases := []struct {
+		name   string
+		mutate func(*SignificanceSpec)
+	}{
+		{"bad support", func(s *SignificanceSpec) { s.Support = 1.5 }},
+		{"bad alpha", func(s *SignificanceSpec) { s.Alpha = 1 }},
+		{"negative permutations", func(s *SignificanceSpec) { s.Permutations = -1 }},
+		{"over permutation limit", func(s *SignificanceSpec) { s.Permutations = 501 }},
+		{"unknown method", func(s *SignificanceSpec) { s.Method = "bonferroni" }},
+		{"unknown metric", func(s *SignificanceSpec) { s.Metric = "nope" }},
+		{"unknown truth column", func(s *SignificanceSpec) { s.TruthCol = "missing" }},
+	}
+	for _, c := range cases {
+		spec := sigSpec(h)
+		c.mutate(&spec)
+		if _, err := e.Significance(context.Background(), spec); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: err %v, want ErrBadInput", c.name, err)
+		}
+	}
+	// Defaults: zero alpha, method, metric, topk and permutations all
+	// resolve rather than error.
+	spec := SignificanceSpec{Dataset: h, Support: 0.1, TruthCol: "truth", PredCol: "pred", Permutations: 100}
+	out, err := e.Significance(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != MethodWY || out.Metric != "ER" || out.Alpha != 0.05 {
+		t.Errorf("defaults: %+v", out)
+	}
+}
+
+func TestSignificanceUnknownDataset(t *testing.T) {
+	e, _ := testEngine(t, Config{Workers: 1})
+	spec := sigSpec(registry.Hash("sha256:deadbeef"))
+	if _, err := e.Significance(context.Background(), spec); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSubmitSignificanceLifecycle(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 2})
+	job, err := e.SubmitSignificance(sigSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("state %s (err %q)", st.State, st.Err)
+	}
+	out, err := job.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Method != MethodWY || out.Permutations != 200 || out.Hypotheses == 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	// The final snapshot closes the stream.
+	snap := job.Partial()
+	if snap == nil || snap.Reason != "complete" {
+		t.Fatalf("final snapshot: %+v", snap)
+	}
+	// A non-significance job refuses the accessor; a significance job
+	// refuses Result().
+	if _, err := job.Result(); err == nil {
+		t.Error("Result() on a significance job returned no error")
+	}
+	plain, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, plain)
+	if _, err := plain.Significance(); err == nil {
+		t.Error("Significance() on an analysis job returned no error")
+	}
+}
+
+func TestSubmitSignificanceValidatesEarly(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	spec := sigSpec(h)
+	spec.Alpha = 2
+	if _, err := e.SubmitSignificance(spec); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad alpha submitted: %v", err)
+	}
+}
+
+func TestSignificanceStatsInEngineStats(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	if _, err := e.Significance(context.Background(), sigSpec(h)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Significance.Queries != 1 || s.Significance.Runs != 1 {
+		t.Errorf("engine stats significance slice: %+v", s.Significance)
+	}
+}

@@ -1,0 +1,60 @@
+package permtest
+
+import "testing"
+
+// TestPermutationPassAllocs pins the warm-loop allocation contract: a
+// permutation pass — shuffle (sampled) or Lehmer decode (exhaustive)
+// plus the full statistic sweep — performs zero heap allocations. All
+// buffers are sized once in newPermWorker.
+func TestPermutationPassAllocs(t *testing.T) {
+	db := nullDB(t, 8, 100, 4, 2)
+	e := newEngine(t, db, mine(t, db, 5))
+	w := newPermWorker(e, 99, nil)
+	var b int
+	if got := testing.AllocsPerRun(100, func() {
+		w.pass(b)
+		b++
+	}); got != 0 {
+		t.Errorf("sampled pass allocates %v per run, want 0", got)
+	}
+
+	dbx := nullDB(t, 9, 8, 3, 2)
+	ex := newEngine(t, dbx, mine(t, dbx, 2))
+	wx := newPermWorker(ex, 0, factorials(8))
+	b = 0
+	if got := testing.AllocsPerRun(100, func() {
+		wx.pass(b)
+		b++
+	}); got != 0 {
+		t.Errorf("exhaustive pass allocates %v per run, want 0", got)
+	}
+}
+
+// BenchmarkPermutationPass measures one full permutation: a seeded
+// Fisher–Yates shuffle of the labels plus the reverse-rank sweep that
+// refolds every hypothesis's tally through the cover index and updates
+// the raw and max-T exceedance counts.
+func BenchmarkPermutationPass(b *testing.B) {
+	db := nullDB(b, 10, 2000, 5, 3)
+	e := newEngine(b, db, mine(b, db, 40))
+	w := newPermWorker(e, 7, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.pass(i)
+	}
+}
+
+// BenchmarkWYAdjust measures the step-down adjustment fold alone:
+// counts to monotone adjusted p-values for 10k hypotheses.
+func BenchmarkWYAdjust(b *testing.B) {
+	counts := make([]int64, 10000)
+	for i := range counts {
+		counts[i] = int64(i % 997)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wyAdjust(counts, 1, 1001)
+	}
+}

@@ -1,0 +1,95 @@
+package permtest
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestFWERControlledOnNull is the seeded family-wise-error simulation:
+// across many independent complete-null datasets, a Westfall–Young run
+// at alpha = 0.05 should reject *any* hypothesis in at most ~5% of the
+// families. The bound is checked with a Monte-Carlo tolerance of three
+// binomial standard deviations; on failure the per-seed rejection map is
+// printed so the offending draws can be replayed directly.
+func TestFWERControlledOnNull(t *testing.T) {
+	const (
+		seeds = 40
+		alpha = 0.05
+		perms = 1000
+	)
+	rejected := make(map[int64]float64) // seed -> min adjusted p of a rejecting family
+	hypotheses := 0
+	for s := int64(0); s < seeds; s++ {
+		db := nullDB(t, 1000+s, 120, 4, 2)
+		itemsets := mine(t, db, 8)
+		if len(itemsets) == 0 {
+			t.Fatalf("seed %d: no hypotheses", s)
+		}
+		hypotheses += len(itemsets)
+		e := newEngine(t, db, itemsets)
+		res := run(t, e, Config{Permutations: perms, Seed: s})
+		minP := math.Inf(1)
+		for _, p := range res.AdjP {
+			if p < minP {
+				minP = p
+			}
+		}
+		if minP <= alpha {
+			rejected[1000+s] = minP
+		}
+	}
+	// Monte-Carlo tolerance: the family rejection indicator is Bernoulli
+	// with mean <= alpha under the null, so over `seeds` independent
+	// families the count stays within alpha*seeds + 3*sqrt(var) whp.
+	limit := alpha*seeds + 3*math.Sqrt(alpha*(1-alpha)*seeds)
+	if float64(len(rejected)) > limit {
+		var lines string
+		for seed, p := range rejected {
+			lines += fmt.Sprintf("  seed %d: min adjusted p %v\n", seed, p)
+		}
+		t.Fatalf("FWER breached: %d/%d null families rejected (limit %.1f, %d hypotheses total):\n%s",
+			len(rejected), seeds, limit, hypotheses, lines)
+	}
+	t.Logf("null families rejected: %d/%d (limit %.1f, %d hypotheses screened)",
+		len(rejected), seeds, limit, hypotheses)
+}
+
+// TestRawPValuesSuperUniformOnNull checks the marginal estimator is
+// valid (super-uniform under the null): pooling raw p-values across
+// null families, the empirical CDF at each threshold must not exceed
+// the threshold by more than Monte-Carlo noise. Hypotheses within a
+// family are dependent, so the tolerance is computed per family, not
+// per hypothesis.
+func TestRawPValuesSuperUniformOnNull(t *testing.T) {
+	const (
+		families = 25
+		perms    = 400
+	)
+	thresholds := []float64{0.01, 0.05, 0.1, 0.25, 0.5}
+	hits := make([]float64, len(thresholds))
+	var total float64
+	for s := int64(0); s < families; s++ {
+		db := nullDB(t, 2000+s, 100, 3, 2)
+		e := newEngine(t, db, mine(t, db, 8))
+		res := run(t, e, Config{Permutations: perms, Seed: s})
+		for _, p := range res.RawP {
+			total++
+			for k, thr := range thresholds {
+				if p <= thr {
+					hits[k]++
+				}
+			}
+		}
+	}
+	for k, thr := range thresholds {
+		rate := hits[k] / total
+		// Worst case all hypotheses in a family move together: the
+		// effective sample size is the family count.
+		tol := 3 * math.Sqrt(thr*(1-thr)/families)
+		if rate > thr+tol {
+			t.Errorf("P(p <= %.2f) = %.3f exceeds %.2f + %.3f over %d null families",
+				thr, rate, thr, tol, families)
+		}
+	}
+}

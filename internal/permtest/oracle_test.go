@@ -1,0 +1,176 @@
+package permtest
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/fpm"
+	"repro/internal/stats"
+)
+
+// oracleWY is an independent brute-force Westfall–Young implementation
+// for tiny n: it enumerates all n! label arrangements with Heap's
+// algorithm (a different enumeration order than the engine's Lehmer
+// decoding — only the counts must agree), computes every statistic
+// through its own cover scan (db.Covers row checks, no CoverIndex), and
+// folds raw and step-down exceedance counts the slow, obvious way.
+type oracleWY struct {
+	rawP, adjP []float64
+}
+
+func bruteForceWY(t *testing.T, db *fpm.TxDB, itemsets []fpm.Itemset, pos, neg uint16) oracleWY {
+	t.Helper()
+	n := db.NumRows()
+	m := len(itemsets)
+
+	var posOf, negOf [fpm.MaxClasses]int64
+	for c := 0; c < fpm.MaxClasses; c++ {
+		if pos&(1<<c) != 0 {
+			posOf[c] = 1
+		}
+		if neg&(1<<c) != 0 {
+			negOf[c] = 1
+		}
+	}
+	total := db.TotalTally()
+	globalPost := stats.NewPosteriorRate(float64(total.Masked(pos)), float64(total.Masked(neg)))
+
+	statOf := func(labels []uint8) []float64 {
+		out := make([]float64, m)
+		for i, is := range itemsets {
+			var kp, kn int64
+			for r := 0; r < n; r++ {
+				if db.Covers(r, is) {
+					kp += posOf[labels[r]]
+					kn += negOf[labels[r]]
+				}
+			}
+			out[i] = stats.WelchTPosterior(stats.NewPosteriorRate(float64(kp), float64(kn)), globalPost)
+		}
+		return out
+	}
+
+	base := append([]uint8(nil), db.Classes...)
+	obs := statOf(base)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		// lint:ignore floatcmp the oracle must replicate the engine's exact tie-break
+		if obs[ia] != obs[ib] {
+			return obs[ia] > obs[ib]
+		}
+		return ia < ib
+	})
+
+	rawCount := make([]int64, m)
+	wyCount := make([]int64, m)
+	perms := 0
+	score := func(labels []uint8) {
+		perms++
+		st := statOf(labels)
+		for i := range st {
+			if st[i] >= obs[i] {
+				rawCount[i]++
+			}
+		}
+		u := math.Inf(-1)
+		for j := m - 1; j >= 0; j-- {
+			if s := st[order[j]]; s > u {
+				u = s
+			}
+			if u >= obs[order[j]] {
+				wyCount[j]++
+			}
+		}
+	}
+
+	// Heap's algorithm over the label slice.
+	var heap func(k int, a []uint8)
+	heap = func(k int, a []uint8) {
+		if k == 1 {
+			score(a)
+			return
+		}
+		for i := 0; i < k; i++ {
+			heap(k-1, a)
+			if k%2 == 0 {
+				a[i], a[k-1] = a[k-1], a[i]
+			} else {
+				a[0], a[k-1] = a[k-1], a[0]
+			}
+		}
+	}
+	heap(n, base)
+
+	o := oracleWY{rawP: make([]float64, m), adjP: make([]float64, m)}
+	den := float64(perms)
+	for i := range o.rawP {
+		o.rawP[i] = float64(rawCount[i]) / den
+	}
+	prev := 0.0
+	for j := 0; j < m; j++ {
+		p := float64(wyCount[j]) / den
+		if p < prev {
+			p = prev
+		}
+		prev = p
+		o.adjP[order[j]] = p
+	}
+	return o
+}
+
+// TestExhaustiveMatchesBruteForceOracle is the small-N differential
+// oracle: the engine's exhaustive mode must reproduce the brute-force
+// enumeration's raw and adjusted p-values exactly — bit for bit — on
+// several dataset shapes.
+func TestExhaustiveMatchesBruteForceOracle(t *testing.T) {
+	shapes := []struct {
+		seed           int64
+		n, attrs, card int
+	}{
+		{21, 6, 2, 2},
+		{22, 7, 3, 2},
+		{23, 8, 2, 3},
+	}
+	for _, s := range shapes {
+		db := nullDB(t, s.seed, s.n, s.attrs, s.card)
+		itemsets := mine(t, db, 1)
+		if len(itemsets) == 0 {
+			t.Fatalf("seed %d: no itemsets", s.seed)
+		}
+		e := newEngine(t, db, itemsets)
+		res, err := e.Run(context.Background(), Config{Exhaustive: true, Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s.seed, err)
+		}
+		oracle := bruteForceWY(t, db, itemsets, posMask, negMask)
+
+		fact := factorials(s.n)
+		if res.Permutations != int(fact[s.n]) {
+			t.Fatalf("seed %d: ran %d permutations, want %d", s.seed, res.Permutations, fact[s.n])
+		}
+		for i := range itemsets {
+			if math.Float64bits(res.RawP[i]) != math.Float64bits(oracle.rawP[i]) {
+				t.Errorf("seed %d hypothesis %d: raw p %v, oracle %v",
+					s.seed, i, res.RawP[i], oracle.rawP[i])
+			}
+			if math.Float64bits(res.AdjP[i]) != math.Float64bits(oracle.adjP[i]) {
+				t.Errorf("seed %d hypothesis %d: adjusted p %v, oracle %v",
+					s.seed, i, res.AdjP[i], oracle.adjP[i])
+			}
+		}
+		// The identity arrangement is always enumerated, so every exact
+		// p-value is strictly positive and the strongest hypothesis's raw
+		// p-value is at least 1/n!.
+		for i := range res.RawP {
+			if res.RawP[i] < 1/float64(fact[s.n]) {
+				t.Errorf("seed %d: exact p %v below 1/n!", s.seed, res.RawP[i])
+			}
+		}
+	}
+}

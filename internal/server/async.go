@@ -212,9 +212,13 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, msg)
 		return
 	}
-	// An explore job's outcome is its result; it never has the full
-	// analysis payload the ladder below serves.
+	// An explore or significance job's outcome is its result; neither has
+	// the full analysis payload the ladder below serves.
 	if out, xerr := job.Explore(); xerr == nil {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	if out, serr := job.Significance(); serr == nil {
 		writeJSON(w, http.StatusOK, out)
 		return
 	}

@@ -28,6 +28,12 @@
 //	                       sampled mining with confidence intervals, and
 //	                       lattice navigation ("expand") from a named
 //	                       pattern; "async": true submits it as a job
+//	POST   /significance   permutation-grounded significance over every
+//	                       mined pattern of a registered dataset (JSON
+//	                       body): Westfall–Young FWER control ("wy"),
+//	                       permutation FDR ("perm-fdr") or analytic BH
+//	                       ("bh"), optional max-entropy support baseline;
+//	                       "async": true submits it as a job
 //	POST   /monitors         create a streaming divergence monitor (JSON spec)
 //	GET    /monitors         list live monitors
 //	GET    /monitors/{id}    monitor snapshot: top-K divergent subgroups,
@@ -187,6 +193,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("POST /explore", s.handleExplore)
+	mux.HandleFunc("POST /significance", s.handleSignificance)
 	mux.HandleFunc("POST /monitors", s.handleMonitorCreate)
 	mux.HandleFunc("GET /monitors", s.handleMonitorList)
 	mux.HandleFunc("GET /monitors/{id}", s.handleMonitorGet)

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Maximum-entropy itemset-significance baseline (DESIGN.md §15): the
+// independence model over an itemset's items, fit by iterative
+// proportional fitting (IPF) over the 2^k cells constrained to the
+// singleton marginals, and a binomial tail probability for how far the
+// itemset's observed support deviates from the model's expectation.
+// With only singleton constraints the max-entropy distribution is the
+// product of the marginals; IPF is used anyway so the machinery extends
+// to richer constraint sets unchanged.
+
+// MaxEntIPFMaxVars bounds the number of variables an IPF fit accepts:
+// the cell table is dense with 2^k entries.
+const MaxEntIPFMaxVars = 20
+
+// MaxEntIPF fits the maximum-entropy distribution over k binary
+// variables subject to P(X_j = 1) = marginals[j], by iterative
+// proportional fitting over the 2^k joint cells (bit j of a cell index
+// set means variable j is present). It returns the fitted cell
+// probabilities and the number of sweeps used. tol <= 0 selects 1e-12;
+// maxIter <= 0 selects 200. The fit fails only if some marginal lies
+// outside (0, 1), k is out of range, or the sweeps fail to converge.
+func MaxEntIPF(marginals []float64, tol float64, maxIter int) ([]float64, int, error) {
+	k := len(marginals)
+	if k < 1 || k > MaxEntIPFMaxVars {
+		return nil, 0, fmt.Errorf("stats: IPF over %d variables (want 1..%d)", k, MaxEntIPFMaxVars)
+	}
+	for j, p := range marginals {
+		if !(p > 0) || !(p < 1) {
+			return nil, 0, fmt.Errorf("stats: IPF marginal %d = %v out of (0,1)", j, p)
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	cells := make([]float64, 1<<k)
+	for i := range cells {
+		cells[i] = 1 / float64(len(cells))
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			bit := 1 << j
+			q := 0.0
+			for i, c := range cells {
+				if i&bit != 0 {
+					q += c
+				}
+			}
+			if d := math.Abs(q - marginals[j]); d > worst {
+				worst = d
+			}
+			up := marginals[j] / q
+			down := (1 - marginals[j]) / (1 - q)
+			for i := range cells {
+				if i&bit != 0 {
+					cells[i] *= up
+				} else {
+					cells[i] *= down
+				}
+			}
+		}
+		if worst <= tol {
+			return cells, iter, nil
+		}
+	}
+	return nil, maxIter, fmt.Errorf("stats: IPF did not converge in %d sweeps", maxIter)
+}
+
+// BinomialSurvival returns P(X >= k) for X ~ Binomial(n, p), via the
+// incomplete-beta identity P(X >= k) = I_p(k, n-k+1). Out-of-support k
+// clamps to the trivial tails.
+func BinomialSurvival(n, k int64, p float64) float64 {
+	switch {
+	case n < 0:
+		// lint:ignore libprint documented contract: panics on caller-side argument violation
+		panic("stats: negative binomial size")
+	case k <= 0:
+		return 1
+	case k > n:
+		return 0
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return 1
+	}
+	return RegIncompleteBeta(float64(k), float64(n-k+1), p)
+}
+
+// BinomialTwoSidedP returns a two-sided tail p-value for observing k
+// successes out of n under success probability p: twice the smaller of
+// the lower and upper tails (both including k), capped at 1. This is
+// the deviation score of the max-entropy baseline — small values mean
+// the observed support is far from the independence model on either
+// side.
+func BinomialTwoSidedP(n, k int64, p float64) float64 {
+	upper := BinomialSurvival(n, k, p)
+	lower := 1 - BinomialSurvival(n, k+1, p)
+	tail := math.Min(upper, lower)
+	return math.Min(1, 2*tail)
+}

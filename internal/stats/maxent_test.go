@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMaxEntIPFProductFixpoint: with only singleton constraints the
+// maximum-entropy distribution is the independence model, so every
+// fitted cell must equal the product of its marginals (and the all-ones
+// cell the product of the raw marginals).
+func TestMaxEntIPFProductFixpoint(t *testing.T) {
+	cases := [][]float64{
+		{0.5},
+		{0.3, 0.7},
+		{0.1, 0.25, 0.6},
+		{0.42, 0.42, 0.42, 0.9},
+	}
+	for _, marg := range cases {
+		cells, iters, err := MaxEntIPF(marg, 0, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", marg, err)
+		}
+		if len(cells) != 1<<len(marg) {
+			t.Fatalf("%v: %d cells", marg, len(cells))
+		}
+		sum := 0.0
+		for cell, got := range cells {
+			want := 1.0
+			for j, p := range marg {
+				if cell&(1<<j) != 0 {
+					want *= p
+				} else {
+					want *= 1 - p
+				}
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%v cell %b: %v want %v", marg, cell, got, want)
+			}
+			sum += got
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: cells sum to %v", marg, sum)
+		}
+		if iters < 1 {
+			t.Errorf("%v: %d sweeps", marg, iters)
+		}
+	}
+}
+
+func TestMaxEntIPFErrors(t *testing.T) {
+	if _, _, err := MaxEntIPF(nil, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := MaxEntIPF(make([]float64, MaxEntIPFMaxVars+1), 0, 0); err == nil {
+		t.Error("k over the cap accepted")
+	}
+	for _, bad := range []float64{0, 1, -0.1, 1.5, math.NaN()} {
+		if _, _, err := MaxEntIPF([]float64{0.5, bad}, 0, 0); err == nil {
+			t.Errorf("marginal %v accepted", bad)
+		}
+	}
+}
+
+// TestBinomialSurvivalMatchesSummation differentials the incomplete-beta
+// route against direct PMF summation on small n.
+func TestBinomialSurvivalMatchesSummation(t *testing.T) {
+	binom := func(n, k int64) float64 {
+		v := 1.0
+		for i := int64(0); i < k; i++ {
+			v *= float64(n-i) / float64(i+1)
+		}
+		return v
+	}
+	for _, n := range []int64{1, 5, 12, 30} {
+		for _, p := range []float64{0.05, 0.3, 0.5, 0.92} {
+			for k := int64(0); k <= n+1; k++ {
+				want := 0.0
+				for j := k; j <= n; j++ {
+					want += binom(n, j) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(n-j))
+				}
+				if k <= 0 {
+					want = 1
+				}
+				got := BinomialSurvival(n, k, p)
+				if math.Abs(got-want) > 1e-9 {
+					t.Errorf("P(X>=%d | n=%d p=%v) = %v want %v", k, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialSurvivalEdges(t *testing.T) {
+	if got := BinomialSurvival(10, -3, 0.4); got != 1 {
+		t.Errorf("k<0: %v", got)
+	}
+	if got := BinomialSurvival(10, 11, 0.4); got != 0 {
+		t.Errorf("k>n: %v", got)
+	}
+	if got := BinomialSurvival(10, 4, 0); got != 0 {
+		t.Errorf("p=0: %v", got)
+	}
+	if got := BinomialSurvival(10, 4, 1); got != 1 {
+		t.Errorf("p=1: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative n did not panic")
+		}
+	}()
+	BinomialSurvival(-1, 0, 0.5)
+}
+
+func TestBinomialTwoSidedP(t *testing.T) {
+	// Symmetric case: k at the mean of Binomial(10, 0.5) is maximally
+	// unsurprising; the doubled tail clamps to 1.
+	if got := BinomialTwoSidedP(10, 5, 0.5); got != 1 {
+		t.Errorf("central k: %v want 1", got)
+	}
+	// Extreme observation: all successes under p=0.1 is doubly the upper
+	// tail, 2 * 0.1^10.
+	got := BinomialTwoSidedP(10, 10, 0.1)
+	want := 2 * math.Pow(0.1, 10)
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("extreme k: %v want %v", got, want)
+	}
+	// Symmetry of the construction: under p=0.5 the score of k and n-k
+	// must agree.
+	for k := int64(0); k <= 20; k++ {
+		a, b := BinomialTwoSidedP(20, k, 0.5), BinomialTwoSidedP(20, 20-k, 0.5)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("asymmetry at k=%d: %v vs %v", k, a, b)
+		}
+	}
+	// Bounds.
+	for k := int64(0); k <= 15; k++ {
+		p := BinomialTwoSidedP(15, k, 0.37)
+		if p <= 0 || p > 1 {
+			t.Errorf("k=%d: p=%v out of (0,1]", k, p)
+		}
+	}
+}

@@ -18,6 +18,12 @@
 #   BenchmarkLatticeExpand               one navigation step, cold
 #                                        (narrowed scan) vs. warm
 #                                        (conditional-tally cache hit)
+#   BenchmarkPermutationPass             one label permutation: seeded
+#                                        shuffle plus the full max-T
+#                                        statistic sweep over the cover
+#                                        index (0 allocs/op is the bar)
+#   BenchmarkWYAdjust                    the step-down adjustment fold,
+#                                        counts to monotone p-values
 #
 # — and writes them as BENCH_<date>.json (schema divex-bench/v1, see
 # internal/benchfmt) in the repository root. Committing the file after a
@@ -50,6 +56,8 @@ echo "==> benchmarks (-benchtime ${benchtime}, -benchmem)"
         -bench '^BenchmarkAnytimeTopK$' ./internal/core
     go test -run=NONE -benchmem -benchtime="${benchtime}" \
         -bench '^BenchmarkLatticeExpand$' ./internal/lattice
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^(BenchmarkPermutationPass|BenchmarkWYAdjust)$' ./internal/permtest
 } | tee /dev/stderr | go run ./cmd/benchfmt -date "${date}" -out "${out}"
 
 echo "bench: snapshot written to ${out}"

@@ -43,6 +43,13 @@
 #                                  timing-sensitive paths, and the
 #                                  byte-identity differential must hold
 #                                  under the race detector too
+#   6d. significance-race tier     the permutation-testing engine twice
+#                                  more under -race: the bounded worker
+#                                  pool's atomic permutation claims and
+#                                  buffer merges must stay deterministic
+#                                  (same seed, any worker count) under
+#                                  the race detector, along with the
+#                                  /significance endpoint and job route
 #   7. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
@@ -97,11 +104,17 @@ go test -race -count=2 -run 'Anytime|SampleRows' ./internal/fpm ./internal/core
 go test -race -count=2 ./internal/lattice/...
 go test -race -count=2 -run 'Explore|ParseExploreBody' ./internal/jobs ./internal/server
 
+echo "==> significance-race tier (permutation engine + WY control + /significance, -count=2)"
+go test -race -count=2 ./internal/permtest/...
+go test -race -count=2 -run 'Permutation|WY|PermFDR|CoverIndex|MaxEnt|Significance' \
+    ./internal/fpm ./internal/core ./internal/jobs ./internal/server
+
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
 go test -run=NONE -fuzz='^FuzzDiscretize$' -fuzztime=10s ./internal/discretize
 go test -run=NONE -fuzz='^FuzzParseEvent$' -fuzztime=10s ./internal/monitor
 go test -run=NONE -fuzz='^FuzzExploreRequest$' -fuzztime=10s ./internal/server
+go test -run=NONE -fuzz='^FuzzSignificanceRequest$' -fuzztime=10s ./internal/server
 
 echo "==> coverage summary (jobs, fpm)"
 go test -cover ./internal/jobs ./internal/fpm | awk '{print "    " $0}'
