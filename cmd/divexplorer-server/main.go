@@ -14,9 +14,20 @@
 // so a restart plus -store-dir serves full pre-crash results without
 // re-uploads.
 //
+// With -node-id and -peers the server joins a fault-tolerant cluster:
+// datasets and jobs are placed on a consistent-hash ring (-replication
+// owners per content hash), submits on a non-owner are forwarded to an
+// owner with hedged retries, accepted work replicates to the other
+// owners, and a dead node's jobs are adopted by a surviving replica
+// (phi-accrual failure detection over gossip heartbeats). With
+// -tenant-quotas, per-tenant admission control (X-Tenant header) gates
+// POST /jobs with quota/rate 429s and replaces the FIFO job queue with
+// weighted fair queueing. See DESIGN.md §16.
+//
 //	divexplorer-server -addr :8080 -workers 4 -job-timeout 5m
 //	divexplorer-server -store-dir /var/lib/divexplorer -snapshot-every 2s
 //	divexplorer-server -store-dir /var/lib/divexplorer -spill-dir /var/lib/divexplorer/spill -spill-budget-bytes 1073741824
+//	divexplorer-server -addr :8081 -node-id n1 -peers 'n1=http://h1:8081,n2=http://h2:8081' -replication 2 -tenant-quotas '*:rate=50;acme:weight=3'
 //	curl --data-binary @data.csv 'http://localhost:8080/analyze?truth=label&pred=predicted&format=html'
 package main
 
@@ -27,9 +38,12 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/monitor"
 	"repro/internal/registry"
@@ -71,6 +85,16 @@ func main() {
 			"per-monitor ingest buffer in batches before ingest gets HTTP 429")
 		maxMonitors = flag.Int("max-monitors", 32,
 			"max concurrently live streaming monitors")
+		nodeID = flag.String("node-id", "",
+			"this node's cluster member ID (required with -peers)")
+		peersFlag = flag.String("peers", "",
+			"cluster members as comma-separated id=http://host:port pairs; the entry matching "+
+				"-node-id, if present, is skipped, so one value works for every node. Empty runs single-node")
+		replication = flag.Int("replication", cluster.DefaultReplication,
+			"how many nodes own each dataset (clamped to the cluster size)")
+		tenantQuotas = flag.String("tenant-quotas", "",
+			"per-tenant admission limits, e.g. '*:rate=10;alpha:weight=3,rate=50,burst=100;beta:jobs=2,bytes=1048576' "+
+				"(keys: weight, rate, burst, jobs, bytes; '*' sets the defaults). Empty disables admission control")
 	)
 	flag.Parse()
 
@@ -88,9 +112,23 @@ func main() {
 		log.Printf("dataset spill tier %s attached (%d files, %d bytes resident)",
 			*spillDir, st.Files, st.Bytes)
 	}
+	// Per-tenant admission: quota/rate gate on POST /jobs plus weighted
+	// fair queueing in place of the engine's FIFO.
+	var ctrl *admission.Controller
+	var queue jobs.Queue
+	if *tenantQuotas != "" {
+		defaults, perTenant, err := admission.ParseLimits(*tenantQuotas)
+		if err != nil {
+			log.Fatalf("parsing -tenant-quotas: %v", err)
+		}
+		ctrl = admission.NewController(defaults, perTenant, nil)
+		queue = server.NewFairJobQueue(*queueDepth, ctrl)
+		log.Printf("admission control on (%d tenant overrides, weighted fair queueing)", len(perTenant))
+	}
 	engine, err := jobs.New(jobs.Config{
 		Registry:                 reg,
 		Workers:                  *workers,
+		Queue:                    queue,
 		QueueDepth:               *queueDepth,
 		ResultCacheEntries:       *resultCache,
 		DefaultTimeout:           *jobTimeout,
@@ -128,9 +166,53 @@ func main() {
 		Registry:     reg,
 		Engine:       engine,
 		Monitors:     monitors,
+		Admission:    ctrl,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Cluster tier: consistent-hash placement over the member set, with
+	// this server as the node's local execution side.
+	var node *cluster.Node
+	if *peersFlag != "" {
+		if *nodeID == "" {
+			log.Fatal("-peers requires -node-id")
+		}
+		self := cluster.NodeID(*nodeID)
+		urls := make(map[cluster.NodeID]string)
+		var peerIDs []cluster.NodeID
+		for _, pair := range strings.Split(*peersFlag, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			id, url, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("bad -peers entry %q (want id=http://host:port)", pair)
+			}
+			if cluster.NodeID(id) == self {
+				continue
+			}
+			urls[cluster.NodeID(id)] = url
+			peerIDs = append(peerIDs, cluster.NodeID(id))
+		}
+		node, err = cluster.NewNode(cluster.Options{
+			Self:              self,
+			Peers:             peerIDs,
+			ReplicationFactor: *replication,
+			HeartbeatEvery:    cluster.DefaultHeartbeatEvery,
+			Transport:         cluster.NewHTTPTransport(urls, nil),
+			Local:             api.ClusterLocal(),
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		api.AttachCluster(node)
+		node.Start()
+		log.Printf("cluster node %s up (%d members, replication %d)",
+			self, len(peerIDs)+1, node.Replication())
 	}
 
 	srv := &http.Server{
@@ -158,6 +240,9 @@ func main() {
 	// Graceful shutdown: stop accepting connections, then drain the job
 	// queue so accepted work still completes (up to the drain timeout).
 	log.Printf("shutting down: draining jobs (timeout %s)", *drainTimeout)
+	if node != nil {
+		node.Close() // stop gossiping before the engine drains
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

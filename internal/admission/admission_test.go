@@ -1,0 +1,151 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// tick is a controllable clock for the token bucket.
+type tick struct{ now time.Time }
+
+func (t *tick) Now() time.Time { return t.now }
+
+func TestAdmitRateLimitAndRefill(t *testing.T) {
+	clk := &tick{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	c := NewController(Limits{JobsPerSec: 2, Burst: 2}, nil, clk.Now)
+
+	if err := c.Admit("alpha", 0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := c.Admit("alpha", 0); err != nil {
+		t.Fatalf("second admit (burst): %v", err)
+	}
+	err := c.Admit("alpha", 0)
+	var d *Denied
+	if !errors.As(err, &d) {
+		t.Fatalf("third admit over rate: err = %v, want *Denied", err)
+	}
+	if d.Reason != "rate" || d.RetryAfter < time.Second {
+		t.Fatalf("denial = %+v, want rate with >= 1s Retry-After", d)
+	}
+	// Half a second refills one token at 2/s.
+	clk.now = clk.now.Add(500 * time.Millisecond)
+	if err := c.Admit("alpha", 0); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	// Other tenants have their own buckets.
+	if err := c.Admit("beta", 0); err != nil {
+		t.Fatalf("independent tenant throttled: %v", err)
+	}
+}
+
+func TestAdmitActiveJobQuotaAndRelease(t *testing.T) {
+	c := NewController(Limits{MaxActive: 1}, nil, nil)
+	if err := c.Admit("alpha", 0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := c.Admit("alpha", 0)
+	var d *Denied
+	if !errors.As(err, &d) || d.Reason != "active-jobs" {
+		t.Fatalf("second admit: err = %v, want active-jobs denial", err)
+	}
+	c.Release("alpha", 0)
+	if err := c.Admit("alpha", 0); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestAdmitByteQuota(t *testing.T) {
+	c := NewController(Limits{MaxBytes: 100}, nil, nil)
+	if err := c.Admit("alpha", 80); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := c.Admit("alpha", 30)
+	var d *Denied
+	if !errors.As(err, &d) || d.Reason != "bytes" {
+		t.Fatalf("over-quota admit: err = %v, want bytes denial", err)
+	}
+	c.Release("alpha", 80)
+	if err := c.Admit("alpha", 30); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestPerTenantOverridesAndWeight(t *testing.T) {
+	c := NewController(Limits{Weight: 1, MaxActive: 1},
+		map[string]Limits{"gold": {Weight: 4}}, nil)
+	if got := c.Weight("gold"); got != 4 {
+		t.Fatalf("Weight(gold) = %v, want 4", got)
+	}
+	if got := c.Weight("unseen"); got != 1 {
+		t.Fatalf("Weight(unseen) = %v, want default 1", got)
+	}
+	// gold has no MaxActive override → unlimited.
+	for i := 0; i < 5; i++ {
+		if err := c.Admit("gold", 0); err != nil {
+			t.Fatalf("gold admit %d: %v", i, err)
+		}
+	}
+	if err := c.Admit("iron", 0); err != nil {
+		t.Fatalf("iron first admit: %v", err)
+	}
+	if err := c.Admit("iron", 0); err == nil {
+		t.Fatalf("iron got past the default MaxActive=1")
+	}
+}
+
+func TestStatsSortedByTenant(t *testing.T) {
+	c := NewController(Limits{}, nil, nil)
+	for _, tenant := range []string{"zeta", "alpha", "mid"} {
+		if err := c.Admit(tenant, 10); err != nil {
+			t.Fatalf("admit %s: %v", tenant, err)
+		}
+	}
+	st := c.Stats()
+	if len(st) != 3 || st[0].Tenant != "alpha" || st[1].Tenant != "mid" || st[2].Tenant != "zeta" {
+		t.Fatalf("stats not sorted by tenant: %+v", st)
+	}
+	if st[0].Admitted != 1 || st[0].ActiveBytes != 10 {
+		t.Fatalf("alpha stats wrong: %+v", st[0])
+	}
+}
+
+func TestEmptyTenantMapsToDefault(t *testing.T) {
+	c := NewController(Limits{MaxActive: 1}, nil, nil)
+	if err := c.Admit("", 0); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := c.Admit(DefaultTenant, 0); err == nil {
+		t.Fatalf("anonymous and %q tenants have separate budgets", DefaultTenant)
+	}
+	st := c.Stats()
+	if len(st) != 1 || st[0].Tenant != DefaultTenant {
+		t.Fatalf("stats = %+v, want single %q row", st, DefaultTenant)
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	defaults, per, err := ParseLimits("*:rate=10;alpha:weight=3,rate=50,burst=100;beta:jobs=2,bytes=1048576")
+	if err != nil {
+		t.Fatalf("ParseLimits: %v", err)
+	}
+	if defaults.JobsPerSec != 10 {
+		t.Fatalf("defaults = %+v", defaults)
+	}
+	if a := per["alpha"]; a.Weight != 3 || a.JobsPerSec != 50 || a.Burst != 100 {
+		t.Fatalf("alpha = %+v", a)
+	}
+	if b := per["beta"]; b.MaxActive != 2 || b.MaxBytes != 1<<20 {
+		t.Fatalf("beta = %+v", b)
+	}
+	if _, _, err := ParseLimits("noseparator"); err == nil {
+		t.Fatalf("malformed clause accepted")
+	}
+	if _, _, err := ParseLimits("alpha:bogus=1"); err == nil {
+		t.Fatalf("unknown key accepted")
+	}
+	if d, per, err := ParseLimits(""); err != nil || d != (Limits{}) || len(per) != 0 {
+		t.Fatalf("empty flag: %+v %+v %v", d, per, err)
+	}
+}

@@ -1,0 +1,181 @@
+package admission
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// FairQueue is a weighted fair queue: items are tagged with a tenant at
+// Push, and Pop serves tenants in proportion to their weights using
+// virtual-time scheduling (each item of a weight-w tenant advances that
+// tenant's virtual clock by 1/w; the tenant with the smallest head
+// finish time drains next). A burst from one tenant therefore queues
+// behind its own earlier work instead of starving everyone else, while
+// a lone tenant still gets the full capacity.
+//
+// The queue is bounded: Push refuses beyond cap items. Pop blocks until
+// an item arrives or Close is called; after Close, Pop drains the
+// backlog and then reports false. All methods are safe for concurrent
+// use.
+type FairQueue[T any] struct {
+	capacity int
+	weightOf func(tenant string) float64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	size   int
+	vtime  float64 // global virtual time: finish tag of the last item served
+
+	tenants map[string]*tenantQueue[T]
+	active  tenantHeap[T] // tenants with a non-empty backlog, by head finish tag
+}
+
+// tenantQueue is one tenant's FIFO backlog plus its virtual-time state.
+type tenantQueue[T any] struct {
+	tenant string
+	items  []fairItem[T]
+	// lastFinish is the finish tag of the tenant's most recently tagged
+	// item; a newly arriving item starts at max(vtime, lastFinish).
+	lastFinish float64
+	heapIndex  int // position in the active heap, -1 when idle
+}
+
+type fairItem[T any] struct {
+	value  T
+	finish float64
+}
+
+// NewFairQueue builds a queue bounded to capacity items. weightOf maps
+// a tenant to its weight (values <= 0 are treated as 1); nil gives every
+// tenant weight 1.
+func NewFairQueue[T any](capacity int, weightOf func(tenant string) float64) *FairQueue[T] {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	if weightOf == nil {
+		weightOf = func(string) float64 { return 1 }
+	}
+	q := &FairQueue[T]{
+		capacity: capacity,
+		weightOf: weightOf,
+		tenants:  make(map[string]*tenantQueue[T]),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues item for tenant. It never blocks: false means the queue
+// is at capacity (or closed) and the caller should shed load.
+func (q *FairQueue[T]) Push(tenant string, item T) bool {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size >= q.capacity {
+		return false
+	}
+	tq, ok := q.tenants[tenant]
+	if !ok {
+		tq = &tenantQueue[T]{tenant: tenant, heapIndex: -1}
+		q.tenants[tenant] = tq
+	}
+	w := q.weightOf(tenant)
+	if w <= 0 {
+		w = 1
+	}
+	start := q.vtime
+	if tq.lastFinish > start {
+		start = tq.lastFinish
+	}
+	tq.lastFinish = start + 1/w
+	tq.items = append(tq.items, fairItem[T]{value: item, finish: tq.lastFinish})
+	if tq.heapIndex < 0 {
+		heap.Push(&q.active, tq)
+	}
+	q.size++
+	q.cond.Signal()
+	return true
+}
+
+// Pop removes and returns the next item in weighted fair order,
+// blocking while the queue is empty. It reports false only after Close
+// once the backlog is drained.
+func (q *FairQueue[T]) Pop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	tq := q.active[0]
+	it := tq.items[0]
+	tq.items[0] = fairItem[T]{} // release the reference
+	tq.items = tq.items[1:]
+	q.size--
+	q.vtime = it.finish
+	if len(tq.items) == 0 {
+		heap.Pop(&q.active)
+		// Reclaim the drained backlog's array; the tenant record itself
+		// stays so lastFinish carries over.
+		tq.items = nil
+	} else {
+		heap.Fix(&q.active, 0)
+	}
+	return it.value, true
+}
+
+// Len returns the number of queued items.
+func (q *FairQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Cap returns the queue capacity.
+func (q *FairQueue[T]) Cap() int { return q.capacity }
+
+// Close stops accepting pushes and wakes every blocked Pop. Idempotent.
+func (q *FairQueue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// tenantHeap orders active tenants by their head item's finish tag;
+// ties break by tenant name so the drain order is deterministic.
+type tenantHeap[T any] []*tenantQueue[T]
+
+func (h tenantHeap[T]) Len() int { return len(h) }
+func (h tenantHeap[T]) Less(i, j int) bool {
+	fi, fj := h[i].items[0].finish, h[j].items[0].finish
+	// lint:ignore floatcmp finish tags are ordering keys, not measurements; exact inequality is the heap order and ties fall through to the tenant-name tiebreak
+	if fi != fj {
+		return fi < fj
+	}
+	return h[i].tenant < h[j].tenant
+}
+func (h tenantHeap[T]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *tenantHeap[T]) Push(x any) {
+	tq := x.(*tenantQueue[T])
+	tq.heapIndex = len(*h)
+	*h = append(*h, tq)
+}
+func (h *tenantHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	tq := old[n-1]
+	old[n-1] = nil
+	tq.heapIndex = -1
+	*h = old[:n-1]
+	return tq
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is the health tracker's verdict on one peer.
+type PeerState int
+
+const (
+	// PeerAlive: phi below threshold.
+	PeerAlive PeerState = iota
+	// PeerDead: phi crossed the threshold; the peer's keys have been
+	// handed to the next replica. A later heartbeat resurrects it.
+	PeerDead
+)
+
+// String returns the wire name of the state.
+func (s PeerState) String() string {
+	if s == PeerDead {
+		return "dead"
+	}
+	return "alive"
+}
+
+// PeerHealth is one row of the health snapshot (/statsz and tests).
+type PeerHealth struct {
+	Node  NodeID    `json:"node"`
+	State string    `json:"state"`
+	Phi   float64   `json:"phi"`
+	Seq   uint64    `json:"seq"`
+	Last  time.Time `json:"last_heartbeat"`
+}
+
+// health tracks liveness for every peer: a phi-accrual detector fed by
+// direct heartbeats and by gossiped sequence numbers, with edge-
+// triggered death/resurrection callbacks. All methods are safe for
+// concurrent use.
+type health struct {
+	threshold float64
+	bootstrap time.Duration // assumed mean interval before history exists
+	clock     Clock
+
+	mu    sync.Mutex
+	peers map[NodeID]*peerHealth
+
+	onDeath func(NodeID)
+	onAlive func(NodeID)
+}
+
+type peerHealth struct {
+	det   *phiDetector
+	seq   uint64 // highest sequence observed, directly or via gossip
+	state PeerState
+}
+
+func newHealth(threshold float64, bootstrap time.Duration, clock Clock) *health {
+	if threshold <= 0 {
+		threshold = DefaultPhiThreshold
+	}
+	return &health{
+		threshold: threshold,
+		bootstrap: bootstrap,
+		clock:     clock,
+		peers:     make(map[NodeID]*peerHealth),
+	}
+}
+
+// watch registers a peer, seeding its detector so silence from the very
+// first moment still accrues suspicion.
+func (h *health) watch(id NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.peers[id]; ok {
+		return
+	}
+	p := &peerHealth{det: newPhiDetector(), state: PeerAlive}
+	p.det.heartbeat(h.clock.Now())
+	h.peers[id] = p
+}
+
+// observe records proof of life for id at sequence seq. Stale sequences
+// (already seen) are ignored — gossip echoes must not look like fresh
+// heartbeats, or a partitioned peer would be kept alive by its own old
+// news bouncing around. Returns true when the observation resurrected a
+// dead peer.
+func (h *health) observe(id NodeID, seq uint64) bool {
+	h.mu.Lock()
+	p, ok := h.peers[id]
+	if !ok || seq <= p.seq {
+		h.mu.Unlock()
+		return false
+	}
+	p.seq = seq
+	p.det.heartbeat(h.clock.Now())
+	resurrected := p.state == PeerDead
+	if resurrected {
+		p.state = PeerAlive
+	}
+	cb := h.onAlive
+	h.mu.Unlock()
+	if resurrected && cb != nil {
+		cb(id)
+	}
+	return resurrected
+}
+
+// sweep re-evaluates phi for every peer and fires the death callback
+// for each alive→dead edge. Called from the gossip loop.
+func (h *health) sweep() {
+	now := h.clock.Now()
+	var died []NodeID
+	h.mu.Lock()
+	for id, p := range h.peers {
+		if p.state == PeerAlive && p.det.phi(now, h.bootstrap) > h.threshold {
+			p.state = PeerDead
+			died = append(died, id)
+		}
+	}
+	cb := h.onDeath
+	h.mu.Unlock()
+	if cb == nil {
+		return
+	}
+	// Deterministic callback order regardless of map iteration.
+	sort.Slice(died, func(i, j int) bool { return died[i] < died[j] })
+	for _, id := range died {
+		cb(id)
+	}
+}
+
+// alive reports whether id is currently considered alive. Unknown peers
+// are dead by definition.
+func (h *health) alive(id NodeID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[id]
+	return ok && p.state == PeerAlive
+}
+
+// seqs snapshots every peer's highest observed sequence — the gossip
+// view piggybacked on outgoing heartbeats.
+func (h *health) seqs() map[NodeID]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[NodeID]uint64, len(h.peers))
+	for id, p := range h.peers {
+		if p.seq > 0 {
+			out[id] = p.seq
+		}
+	}
+	return out
+}
+
+// snapshot returns per-peer health rows sorted by node ID — the order
+// is part of the /statsz determinism contract.
+func (h *health) snapshot() []PeerHealth {
+	now := h.clock.Now()
+	h.mu.Lock()
+	out := make([]PeerHealth, 0, len(h.peers))
+	for id, p := range h.peers {
+		out = append(out, PeerHealth{
+			Node:  id,
+			State: p.state.String(),
+			Phi:   p.det.phi(now, h.bootstrap),
+			Seq:   p.seq,
+			Last:  p.det.last,
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

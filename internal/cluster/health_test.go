@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock. After returns an
+// already-ready channel for non-positive durations and otherwise a
+// channel fired by Advance.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	kept := c.waiters[:0]
+	var fire []chan time.Time
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			fire = append(fire, w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	now := c.now
+	c.mu.Unlock()
+	for _, ch := range fire {
+		ch <- now
+	}
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	d := newPhiDetector()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Steady 1s heartbeats.
+	for i := 0; i < 10; i++ {
+		d.heartbeat(base.Add(time.Duration(i) * time.Second))
+	}
+	last := base.Add(9 * time.Second)
+	at1 := d.phi(last.Add(1*time.Second), time.Second)
+	at5 := d.phi(last.Add(5*time.Second), time.Second)
+	at30 := d.phi(last.Add(30*time.Second), time.Second)
+	if !(at1 < at5 && at5 < at30) {
+		t.Fatalf("phi not monotone in silence: %v %v %v", at1, at5, at30)
+	}
+	// One mean interval of silence is ordinary (phi well under 1);
+	// thirty are damning (phi far above the default threshold).
+	if at1 > 1 {
+		t.Errorf("phi after one interval = %v, want < 1", at1)
+	}
+	if at30 < DefaultPhiThreshold {
+		t.Errorf("phi after 30 intervals = %v, want > %v", at30, DefaultPhiThreshold)
+	}
+}
+
+func TestPhiAdaptsToCadence(t *testing.T) {
+	slow, fast := newPhiDetector(), newPhiDetector()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		slow.heartbeat(base.Add(time.Duration(i) * 10 * time.Second))
+		fast.heartbeat(base.Add(time.Duration(i) * time.Second))
+	}
+	// The same 20s of silence is mild for a 10s cadence, alarming for 1s.
+	gap := 20 * time.Second
+	phiSlow := slow.phi(base.Add(90*time.Second+gap), time.Second)
+	phiFast := fast.phi(base.Add(9*time.Second+gap), time.Second)
+	if phiSlow >= phiFast {
+		t.Fatalf("phi ignores cadence: slow=%v fast=%v", phiSlow, phiFast)
+	}
+}
+
+func TestHealthDeathAndResurrection(t *testing.T) {
+	clock := newFakeClock()
+	h := newHealth(DefaultPhiThreshold, time.Second, clock)
+	var deaths, alive []NodeID
+	h.onDeath = func(id NodeID) { deaths = append(deaths, id) }
+	h.onAlive = func(id NodeID) { alive = append(alive, id) }
+	h.watch("b")
+	h.watch("c")
+
+	// Regular heartbeats keep both alive.
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		h.observe("b", uint64(i+1))
+		h.observe("c", uint64(i+1))
+		h.sweep()
+	}
+	if len(deaths) != 0 {
+		t.Fatalf("deaths with steady heartbeats: %v", deaths)
+	}
+
+	// c goes silent; b keeps talking.
+	for i := 10; i < 60; i++ {
+		clock.Advance(time.Second)
+		h.observe("b", uint64(i+1))
+		h.sweep()
+	}
+	if len(deaths) != 1 || deaths[0] != "c" {
+		t.Fatalf("deaths = %v, want [c]", deaths)
+	}
+	if h.alive("c") || !h.alive("b") {
+		t.Fatalf("alive(c)=%v alive(b)=%v", h.alive("c"), h.alive("b"))
+	}
+
+	// A fresh sequence resurrects c; a stale one must not.
+	if h.observe("c", 5) {
+		t.Fatalf("stale sequence resurrected the peer")
+	}
+	if !h.observe("c", 100) {
+		t.Fatalf("fresh sequence did not resurrect the peer")
+	}
+	if len(alive) != 1 || alive[0] != "c" {
+		t.Fatalf("onAlive calls = %v, want [c]", alive)
+	}
+	if !h.alive("c") {
+		t.Fatalf("c still dead after resurrection")
+	}
+}
+
+func TestHealthSnapshotSorted(t *testing.T) {
+	clock := newFakeClock()
+	h := newHealth(0, time.Second, clock)
+	for _, id := range []NodeID{"z", "a", "m"} {
+		h.watch(id)
+	}
+	snap := h.snapshot()
+	if len(snap) != 3 || snap[0].Node != "a" || snap[1].Node != "m" || snap[2].Node != "z" {
+		t.Fatalf("snapshot not sorted by node: %+v", snap)
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// HTTP paths the transport speaks and internal/server mounts. They live
+// here so the two sides cannot drift.
+const (
+	GossipPath    = "/internal/gossip"
+	ForwardPath   = "/internal/jobs"
+	ReplicatePath = "/internal/replicate"
+)
+
+// HTTPTransport reaches peers over their HTTP base URLs — the
+// production transport. Requests are plain JSON posts against the
+// /internal/* endpoints internal/server mounts; any connection-level
+// failure maps to ErrPeerUnreachable (retryable) and any 4xx response
+// to ErrPeerRejected (definitive), so the retry policy in node.go works
+// unchanged over HTTP. Safe for concurrent use.
+type HTTPTransport struct {
+	client *http.Client
+
+	mu    sync.RWMutex
+	peers map[NodeID]string // base URL, no trailing slash
+}
+
+// NewHTTPTransport builds a transport over peer base URLs
+// ("node-b" -> "http://10.0.0.2:8080"). A nil client uses
+// http.DefaultClient; per-attempt deadlines come from the caller's
+// context, so the node's AttemptTimeout still governs.
+func NewHTTPTransport(peers map[NodeID]string, client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	cp := make(map[NodeID]string, len(peers))
+	for id, base := range peers {
+		for len(base) > 0 && base[len(base)-1] == '/' {
+			base = base[:len(base)-1]
+		}
+		cp[id] = base
+	}
+	return &HTTPTransport{client: client, peers: cp}
+}
+
+// PeerURL returns the configured base URL for id.
+func (t *HTTPTransport) PeerURL(id NodeID) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	base, ok := t.peers[id]
+	return base, ok
+}
+
+// post sends one JSON request and decodes the JSON answer into out
+// (when non-nil).
+func (t *HTTPTransport) post(ctx context.Context, to NodeID, path string, in, out any) error {
+	base, ok := t.PeerURL(to)
+	if !ok {
+		return fmt.Errorf("%w: no URL configured for %s", ErrPeerUnreachable, to)
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrPeerUnreachable, to, err)
+	}
+	defer func() { _ = resp.Body.Close() }() // nothing to do about a close error on a drained body
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("%w: %s: reading response: %v", ErrPeerUnreachable, to, err)
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return fmt.Errorf("%w: %s: HTTP %d: %s", ErrPeerRejected, to, resp.StatusCode, trim(payload))
+	default:
+		return fmt.Errorf("%w: %s: HTTP %d: %s", ErrPeerUnreachable, to, resp.StatusCode, trim(payload))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("%w: %s: decoding response: %v", ErrPeerUnreachable, to, err)
+	}
+	return nil
+}
+
+func trim(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}
+
+func (t *HTTPTransport) Heartbeat(ctx context.Context, to NodeID, hb Heartbeat) error {
+	return t.post(ctx, to, GossipPath, hb, nil)
+}
+
+func (t *HTTPTransport) ForwardJob(ctx context.Context, to NodeID, req JobRequest) (JobAck, error) {
+	var ack JobAck
+	err := t.post(ctx, to, ForwardPath, req, &ack)
+	return ack, err
+}
+
+func (t *HTTPTransport) Replicate(ctx context.Context, to NodeID, chunk ReplicaChunk) (ReplicaAck, error) {
+	var ack ReplicaAck
+	err := t.post(ctx, to, ReplicatePath, chunk, &ack)
+	return ack, err
+}

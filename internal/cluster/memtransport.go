@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork connects in-process nodes for tests and the chaos harness:
+// every transport verb is delivered by direct handler call, through a
+// seeded fault layer that can kill nodes (every message to or from them
+// is dropped), partition the membership into groups that cannot reach
+// each other, slow-walk links with added latency, and drop a random
+// fraction of messages. The same seed produces the same drop schedule,
+// so a failing chaos run reproduces exactly. All methods are safe for
+// concurrent use.
+type MemNetwork struct {
+	mu       sync.Mutex
+	handlers map[NodeID]Handler
+	killed   map[NodeID]bool
+	group    map[NodeID]int // partition group; absent = group 0
+	slow     map[NodeID]time.Duration
+	dropRate float64
+	rng      *rand.Rand
+
+	delivered int64
+	dropped   int64
+}
+
+// NewMemNetwork builds an empty network with a seeded fault schedule.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		handlers: make(map[NodeID]Handler),
+		killed:   make(map[NodeID]bool),
+		group:    make(map[NodeID]int),
+		slow:     make(map[NodeID]time.Duration),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Attach registers a node's handler and returns the Transport its peers
+// use to reach it — each node gets a Transport bound to its own ID so
+// the network knows who is sending.
+func (m *MemNetwork) Attach(id NodeID, h Handler) Transport {
+	m.mu.Lock()
+	m.handlers[id] = h
+	m.mu.Unlock()
+	return &memTransport{net: m, from: id}
+}
+
+// Transport returns the sending half for id without registering a
+// handler: handlers are resolved at delivery time, so a node can be
+// constructed with its transport first and Attach its handler after.
+func (m *MemNetwork) Transport(id NodeID) Transport {
+	return &memTransport{net: m, from: id}
+}
+
+// Kill drops every message to and from id until Revive.
+func (m *MemNetwork) Kill(id NodeID) {
+	m.mu.Lock()
+	m.killed[id] = true
+	m.mu.Unlock()
+}
+
+// Revive undoes Kill.
+func (m *MemNetwork) Revive(id NodeID) {
+	m.mu.Lock()
+	delete(m.killed, id)
+	m.mu.Unlock()
+}
+
+// Partition assigns nodes to groups; messages cross group boundaries
+// only to be dropped. Nodes not mentioned stay in group 0. Heal with
+// HealPartition.
+func (m *MemNetwork) Partition(groups ...[]NodeID) {
+	m.mu.Lock()
+	m.group = make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			m.group[id] = gi
+		}
+	}
+	m.mu.Unlock()
+}
+
+// HealPartition reunites all groups.
+func (m *MemNetwork) HealPartition() {
+	m.mu.Lock()
+	m.group = make(map[NodeID]int)
+	m.mu.Unlock()
+}
+
+// SlowWalk adds latency to every message to or from id (0 clears it).
+func (m *MemNetwork) SlowWalk(id NodeID, d time.Duration) {
+	m.mu.Lock()
+	if d <= 0 {
+		delete(m.slow, id)
+	} else {
+		m.slow[id] = d
+	}
+	m.mu.Unlock()
+}
+
+// DropRate makes the network drop a random fraction of messages
+// (seeded, deterministic given the message order).
+func (m *MemNetwork) DropRate(p float64) {
+	m.mu.Lock()
+	m.dropRate = p
+	m.mu.Unlock()
+}
+
+// Delivered and Dropped report message counts.
+func (m *MemNetwork) Delivered() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.delivered }
+func (m *MemNetwork) Dropped() int64   { m.mu.Lock(); defer m.mu.Unlock(); return m.dropped }
+
+// route decides the fate of one message: the target handler plus added
+// latency, or an unreachable error.
+func (m *MemNetwork) route(from, to NodeID) (Handler, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.handlers[to]
+	switch {
+	case !ok, m.killed[from], m.killed[to], m.group[from] != m.group[to]:
+		m.dropped++
+		return nil, 0, fmt.Errorf("%w: %s -> %s", ErrPeerUnreachable, from, to)
+	case m.dropRate > 0 && m.rng.Float64() < m.dropRate:
+		m.dropped++
+		return nil, 0, fmt.Errorf("%w: %s -> %s (dropped)", ErrPeerUnreachable, from, to)
+	}
+	m.delivered++
+	return h, m.slow[from] + m.slow[to], nil
+}
+
+// memTransport is the per-node sending half.
+type memTransport struct {
+	net  *MemNetwork
+	from NodeID
+}
+
+// deliver applies routing and latency, honoring ctx while "on the wire".
+func (t *memTransport) deliver(ctx context.Context, to NodeID) (Handler, error) {
+	h, delay, err := t.net.route(t.from, to)
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %s -> %s: %v", ErrPeerUnreachable, t.from, to, ctx.Err())
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %s -> %s: %v", ErrPeerUnreachable, t.from, to, ctx.Err())
+	}
+	return h, nil
+}
+
+func (t *memTransport) Heartbeat(ctx context.Context, to NodeID, hb Heartbeat) error {
+	h, err := t.deliver(ctx, to)
+	if err != nil {
+		return err
+	}
+	h.HandleHeartbeat(hb)
+	return nil
+}
+
+func (t *memTransport) ForwardJob(ctx context.Context, to NodeID, req JobRequest) (JobAck, error) {
+	h, err := t.deliver(ctx, to)
+	if err != nil {
+		return JobAck{}, err
+	}
+	return h.HandleForwardJob(ctx, req)
+}
+
+func (t *memTransport) Replicate(ctx context.Context, to NodeID, chunk ReplicaChunk) (ReplicaAck, error) {
+	h, err := t.deliver(ctx, to)
+	if err != nil {
+		return ReplicaAck{}, err
+	}
+	return h.HandleReplicate(chunk)
+}

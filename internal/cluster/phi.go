@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// phiWindow is how many heartbeat inter-arrival intervals the detector
+// remembers. A small window adapts quickly to a changed heartbeat
+// cadence while still smoothing one-off hiccups.
+const phiWindow = 32
+
+// DefaultPhiThreshold is the suspicion level at which a peer is
+// declared dead. Phi is -log10 of the probability that a heartbeat gap
+// this long would occur given the observed arrival history, so 8 means
+// "the chance this peer is still alive and merely slow is 10^-8".
+const DefaultPhiThreshold = 8.0
+
+// phiDetector is a phi-accrual failure detector for one peer
+// (Hayashibara et al., "The phi accrual failure detector"), using the
+// exponential-distribution form: with mean inter-arrival m, the
+// probability of a gap longer than t is e^(-t/m), so
+//
+//	phi(t) = -log10(e^(-t/m)) = t / (m * ln 10).
+//
+// Unlike a boolean timeout, phi grows continuously with silence, so the
+// caller picks the false-positive rate by picking the threshold, and a
+// noisy network raises m, which automatically lengthens the grace
+// period. The zero value is unusable; use newPhiDetector. Not safe for
+// concurrent use — the health tracker serializes access.
+type phiDetector struct {
+	intervals [phiWindow]float64 // seconds
+	n         int                // filled entries
+	next      int                // ring cursor
+	sum       float64
+	last      time.Time // last arrival; zero until the first
+}
+
+func newPhiDetector() *phiDetector { return &phiDetector{} }
+
+// heartbeat records an arrival at now. Out-of-order or duplicate
+// arrivals (now before the last) only refresh the arrival time.
+func (d *phiDetector) heartbeat(now time.Time) {
+	if d.last.IsZero() {
+		d.last = now
+		return
+	}
+	dt := now.Sub(d.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	d.last = now
+	if d.n == phiWindow {
+		d.sum -= d.intervals[d.next]
+	} else {
+		d.n++
+	}
+	d.intervals[d.next] = dt
+	d.sum += dt
+	d.next = (d.next + 1) % phiWindow
+}
+
+// phi returns the current suspicion level at now. Before the first
+// arrival, or before the first full interval, the detector falls back
+// to bootstrapMean so a peer that never speaks is still eventually
+// suspected.
+func (d *phiDetector) phi(now time.Time, bootstrapMean time.Duration) float64 {
+	if d.last.IsZero() {
+		return 0 // no arrival yet: the caller seeds last via heartbeat at join
+	}
+	mean := bootstrapMean.Seconds()
+	if d.n > 0 {
+		mean = d.sum / float64(d.n)
+	}
+	if mean <= 0 {
+		return math.Inf(1)
+	}
+	elapsed := now.Sub(d.last).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	const log10e = 0.4342944819032518 // 1 / ln 10
+	return elapsed / mean * log10e
+}

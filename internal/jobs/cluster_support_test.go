@@ -1,0 +1,278 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/registry"
+)
+
+func TestSubmitAdoptedIsIdempotent(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	j1, err := e.SubmitAdopted("forwarded-1", sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hedged duplicate arrives while (or after) the first runs.
+	j2, err := e.SubmitAdopted("forwarded-1", sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatalf("duplicate adopted submit created a second job")
+	}
+	if st := waitTerminal(t, j1); st.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Err)
+	}
+	if got := e.Stats().Submitted; got != 1 {
+		t.Fatalf("submitted = %d, want 1 (duplicate must not enqueue)", got)
+	}
+	if _, err := e.SubmitAdopted("", sampleSpec(h)); err == nil {
+		t.Fatalf("empty adopted id accepted")
+	}
+}
+
+func TestSubmitRejectsDuplicateID(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	if _, err := e.SubmitAdopted("dup", sampleSpec(h)); err != nil {
+		t.Fatal(err)
+	}
+	// The non-adopted path must refuse to silently merge distinct
+	// submissions under one ID.
+	if _, err := e.submit("dup", sampleSpec(h), false); err == nil {
+		t.Fatalf("duplicate non-adopted id accepted")
+	}
+}
+
+func TestAdoptDoneServesSummaryAndRehydrates(t *testing.T) {
+	e, h := testEngine(t, Config{Workers: 1})
+	// Mine once on the "dead peer" side to get a real summary.
+	donor, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, donor)
+	sum := donor.Summary()
+	if sum == nil {
+		t.Fatal("donor job has no summary")
+	}
+
+	// Adopt it on a second engine sharing the registry (the replica).
+	e2, err := New(Config{Registry: e.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e2.Shutdown(ctx)
+	}()
+	job, err := e2.AdoptDone(donor.ID(), sampleSpec(h), sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := job.Snapshot()
+	if st.State != StateDone || !st.Recovered {
+		t.Fatalf("adopted job = %+v, want recovered done", st)
+	}
+	if job.Summary() != sum {
+		t.Fatalf("adopted job lost the summary")
+	}
+	// Full result re-mines on demand through the standard path.
+	res, err := e2.Rehydrate(context.Background(), job)
+	if err != nil {
+		t.Fatalf("Rehydrate of adopted job: %v", err)
+	}
+	if res.NumPatterns() == 0 {
+		t.Fatalf("adopted rehydrate mined nothing")
+	}
+	// Adoption is idempotent.
+	again, err := e2.AdoptDone(donor.ID(), sampleSpec(h), sum)
+	if err != nil || again != job {
+		t.Fatalf("re-adoption = (%p, %v), want the existing job", again, err)
+	}
+}
+
+// countingQueue wraps the default FIFO to prove the engine drives the
+// configured Queue implementation.
+type countingQueue struct {
+	inner  Queue
+	pushes int64
+	mu     sync.Mutex
+}
+
+func (q *countingQueue) Push(j *Job) bool {
+	q.mu.Lock()
+	q.pushes++
+	q.mu.Unlock()
+	return q.inner.Push(j)
+}
+func (q *countingQueue) Pop() (*Job, bool) { return q.inner.Pop() }
+func (q *countingQueue) Len() int          { return q.inner.Len() }
+func (q *countingQueue) Cap() int          { return q.inner.Cap() }
+func (q *countingQueue) Close()            { q.inner.Close() }
+
+func TestConfigQueueSeam(t *testing.T) {
+	q := &countingQueue{inner: chanQueue{ch: make(chan *Job, 8)}}
+	e, h := testEngine(t, Config{Workers: 1, Queue: q})
+	job, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	q.mu.Lock()
+	pushes := q.pushes
+	q.mu.Unlock()
+	if pushes != 1 {
+		t.Fatalf("custom queue saw %d pushes, want 1", pushes)
+	}
+	if st := e.Stats(); st.QueueCap != 8 {
+		t.Fatalf("stats read the default queue, not the configured one: %+v", st)
+	}
+}
+
+func TestOnTerminalHookFires(t *testing.T) {
+	var mu sync.Mutex
+	var terminal []string
+	hook := func(j *Job) {
+		mu.Lock()
+		terminal = append(terminal, j.ID()+":"+j.Snapshot().State.String())
+		mu.Unlock()
+	}
+	e, h := testEngine(t, Config{Workers: 1, OnTerminal: hook})
+	job, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	mu.Lock()
+	got := append([]string(nil), terminal...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != job.ID()+":done" {
+		t.Fatalf("terminal hook calls = %v, want one done for %s", got, job.ID())
+	}
+}
+
+func TestOnTerminalHookFiresForQueuedCancel(t *testing.T) {
+	var mu sync.Mutex
+	var terminal []string
+	hook := func(j *Job) {
+		mu.Lock()
+		terminal = append(terminal, j.Snapshot().State.String())
+		mu.Unlock()
+	}
+	gate := make(chan struct{})
+	block := func(ctx context.Context, _ *dataset.Dataset, _ Spec, _ *Tracker) (*core.Result, error) {
+		<-gate
+		return nil, ctx.Err()
+	}
+	e, h := testEngine(t, Config{Workers: 1, OnTerminal: hook, Analyze: block})
+	// First job occupies the lone worker; the second stays queued.
+	blocker, err := e.Submit(sampleSpec(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := sampleSpec(h)
+	spec2.Support = 0.1 // distinct cache key
+	queued, err := e.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	waitTerminal(t, blocker)
+	waitTerminal(t, queued)
+	mu.Lock()
+	sawCanceled := false
+	for _, s := range terminal {
+		if s == "canceled" {
+			sawCanceled = true
+		}
+	}
+	mu.Unlock()
+	if !sawCanceled {
+		t.Fatalf("terminal hook never saw the queued cancel: %v", terminal)
+	}
+}
+
+// TestCancelAbortsMidRehydrate is the regression test for DELETE on a
+// recovered done job while its rehydration re-mine is in flight: the
+// re-mine must be canceled, and neither the job nor the result cache
+// may end up holding the full result.
+func TestCancelAbortsMidRehydrate(t *testing.T) {
+	dir := t.TempDir()
+	id, _ := runDurableJob(t, dir)
+
+	// Restarted process: dataset resident again, but analyses block on a
+	// gate so the test controls when (whether) the re-mine finishes.
+	reg := registry.New(0)
+	if _, _, err := reg.Register([]byte(sampleCSV), dataset.CSVOptions{TrimSpace: true}); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	var once sync.Once
+	gated := func(ctx context.Context, data *dataset.Dataset, spec Spec, tr *Tracker) (*core.Result, error) {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // only cancellation releases the miner
+		return nil, ctx.Err()
+	}
+	e, err := New(Config{Registry: reg, Analyze: gated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = e.Shutdown(ctx)
+	})
+	if _, err := e.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	job, ok := e.Get(id)
+	if !ok {
+		t.Fatal("job vanished across restart")
+	}
+
+	rehydrateErr := make(chan error, 1)
+	go func() {
+		_, err := e.Rehydrate(context.Background(), job)
+		rehydrateErr <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rehydrate never started mining")
+	}
+
+	// DELETE arrives mid-re-mine.
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-rehydrateErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("rehydrate err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled rehydrate never returned")
+	}
+
+	// The canceled re-mine must not have repopulated anything: the full
+	// result is still absent and the result cache still empty.
+	if _, err := job.Result(); !errors.Is(err, ErrNoResult) {
+		t.Fatalf("Result() after canceled rehydrate err = %v, want ErrNoResult", err)
+	}
+	if st := e.Stats(); st.ResultCache.Entries != 0 {
+		t.Fatalf("canceled rehydrate populated the result cache: %+v", st.ResultCache)
+	}
+	if st := e.Stats(); st.Rehydrated != 0 {
+		t.Fatalf("canceled rehydrate counted as a rehydration: %+v", st)
+	}
+}

@@ -54,7 +54,49 @@ type Config struct {
 	// MaxPermutations caps the permutation count a significance spec may
 	// request; 100000 when <= 0.
 	MaxPermutations int
+	// Queue replaces the default FIFO channel queue — the seam the
+	// serving layer uses to install weighted fair queueing. When nil a
+	// FIFO of QueueDepth is used; when non-nil QueueDepth is ignored.
+	Queue Queue
+	// OnTerminal, when non-nil, is called from the worker goroutine each
+	// time a job reaches a terminal state (done, failed, canceled) —
+	// after the terminal record is durably logged. The cluster layer uses
+	// it to replicate completion records to the dataset's other owners.
+	OnTerminal func(j *Job)
 }
+
+// Queue is the engine's pluggable job queue. Push never blocks (false
+// sheds load — the ErrQueueFull contract); Pop blocks until an item or
+// Close, then drains the backlog before reporting false. The engine
+// guarantees no Push is issued after Close.
+type Queue interface {
+	Push(j *Job) bool
+	Pop() (*Job, bool)
+	Len() int
+	Cap() int
+	Close()
+}
+
+// chanQueue is the default FIFO queue: a plain bounded channel.
+type chanQueue struct{ ch chan *Job }
+
+func (q chanQueue) Push(j *Job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q chanQueue) Pop() (*Job, bool) {
+	j, ok := <-q.ch
+	return j, ok
+}
+
+func (q chanQueue) Len() int { return len(q.ch) }
+func (q chanQueue) Cap() int { return cap(q.ch) }
+func (q chanQueue) Close()   { close(q.ch) }
 
 // Stats is a point-in-time snapshot of the engine counters for /statsz.
 type Stats struct {
@@ -97,7 +139,7 @@ type Engine struct {
 
 	mu       sync.RWMutex // guards queue-close vs. submit
 	draining bool
-	queue    chan *Job
+	queue    Queue
 
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
@@ -123,6 +165,11 @@ type Engine struct {
 	sigQueries atomic.Int64
 	sigRuns    atomic.Int64
 	sigPerms   atomic.Int64
+
+	// onTerminal holds the terminal-state hook (Config.OnTerminal, or a
+	// later SetOnTerminal) behind an atomic so the serving layer can
+	// attach cluster replication after construction.
+	onTerminal atomic.Pointer[func(j *Job)]
 
 	busy       atomic.Int64
 	submitted  atomic.Int64
@@ -168,6 +215,10 @@ func New(cfg Config) (*Engine, error) {
 	if sigEntries <= 0 {
 		sigEntries = 64
 	}
+	queue := cfg.Queue
+	if queue == nil {
+		queue = chanQueue{ch: make(chan *Job, depth)}
+	}
 	// lint:ignore ctxflow the engine root context outlives any caller request; it is canceled by Engine.Close, not by whoever happened to construct the engine
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
@@ -177,7 +228,7 @@ func New(cfg Config) (*Engine, error) {
 		cache:      newResultCache(cacheEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, depth),
+		queue:      queue,
 		jobs:       make(map[string]*Job),
 		workers:    workers,
 		xcache:     exploreCache{c: newKeyedLRU(exploreEntries)},
@@ -186,6 +237,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Store != nil {
 		e.store.Store(cfg.Store)
+	}
+	if cfg.OnTerminal != nil {
+		e.SetOnTerminal(cfg.OnTerminal)
 	}
 	for i := 0; i < workers; i++ {
 		e.wg.Add(1)
@@ -201,7 +255,11 @@ func (e *Engine) Store() *Store { return e.store.Load() }
 // worker consumes the queue until it is closed by Shutdown.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for job := range e.queue {
+	for {
+		job, ok := e.queue.Pop()
+		if !ok {
+			return
+		}
 		e.run(job)
 	}
 }
@@ -216,39 +274,101 @@ func (e *Engine) Submit(spec Spec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	job := &Job{id: id, spec: spec, state: StateQueued, created: time.Now()}
+	return e.submit(id, spec, false)
+}
 
+// SubmitAdopted enqueues a job under an externally minted ID — the
+// cluster layer mints IDs on the forwarding node so retried, hedged and
+// failed-over submissions land idempotently. Resubmitting an ID the
+// engine already holds returns the existing job unchanged.
+func (e *Engine) SubmitAdopted(id string, spec Spec) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: empty job id")
+	}
+	return e.submit(id, spec, true)
+}
+
+// submit builds a plain analysis job and hands it to the shared
+// enqueue path.
+func (e *Engine) submit(id string, spec Spec, adopted bool) (*Job, error) {
+	job := &Job{id: id, spec: spec, state: StateQueued, created: time.Now()}
+	return e.enqueue(job, adopted)
+}
+
+// enqueue is the shared enqueue path for every submission kind
+// (analysis, explore, significance, adopted). The job is made visible
+// in the job table before the write-ahead append so concurrent
+// duplicate submissions under the same ID resolve to one winner under
+// jobsMu; adopted re-submissions return the existing job unchanged.
+func (e *Engine) enqueue(job *Job, adopted bool) (*Job, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.draining {
 		e.rejected.Add(1)
 		return nil, ErrShuttingDown
 	}
+	e.jobsMu.Lock()
+	if existing, ok := e.jobs[job.id]; ok {
+		e.jobsMu.Unlock()
+		if adopted {
+			return existing, nil
+		}
+		return nil, fmt.Errorf("jobs: duplicate job id %s", job.id)
+	}
+	e.jobs[job.id] = job
+	e.jobsMu.Unlock()
+	undo := func() {
+		e.jobsMu.Lock()
+		delete(e.jobs, job.id)
+		e.jobsMu.Unlock()
+	}
 	if st := e.store.Load(); st != nil {
-		rec := Record{Type: RecSubmitted, Job: id, Time: job.created, Spec: &spec}
+		rec := Record{Type: RecSubmitted, Job: job.id, Time: job.created, Spec: &job.spec}
 		if err := st.Append(rec); err != nil {
+			undo()
 			e.storeErrs.Add(1)
 			e.rejected.Add(1)
 			return nil, fmt.Errorf("jobs: write-ahead submit: %w", err)
 		}
 	}
-	e.jobsMu.Lock()
-	e.jobs[id] = job
-	e.jobsMu.Unlock()
-	select {
-	case e.queue <- job:
+	if e.queue.Push(job) {
 		e.submitted.Add(1)
 		return job, nil
-	default:
-		e.jobsMu.Lock()
-		delete(e.jobs, id)
-		e.jobsMu.Unlock()
-		e.rejected.Add(1)
-		// Close out the already-written submitted record so recovery
-		// does not resurrect a job the client was refused.
-		e.logRecord(Record{Type: RecRejected, Job: id, Error: ErrQueueFull.Error()})
-		return nil, ErrQueueFull
 	}
+	undo()
+	e.rejected.Add(1)
+	// Close out the already-written submitted record so recovery
+	// does not resurrect a job the client was refused.
+	e.logRecord(Record{Type: RecRejected, Job: job.id, Error: ErrQueueFull.Error()})
+	return nil, ErrQueueFull
+}
+
+// AdoptDone installs a terminal done job reconstructed from a dead
+// peer's replicated record: the durable summary is immediately
+// servable, and the full result re-mines on demand through Rehydrate
+// (recompute spec attached) once the dataset replica is resident.
+// Idempotent: an ID the engine already holds is returned unchanged. The
+// adoption is logged, so it survives this node's own restarts.
+func (e *Engine) AdoptDone(id string, spec Spec, summary *ResultSummary) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: empty job id")
+	}
+	now := time.Now()
+	specCopy := spec
+	job := &Job{
+		id: id, spec: spec, state: StateDone, recovered: true,
+		created: now, finished: now, summary: summary, recompute: &specCopy,
+	}
+	e.jobsMu.Lock()
+	if existing, ok := e.jobs[id]; ok {
+		e.jobsMu.Unlock()
+		return existing, nil
+	}
+	e.jobs[id] = job
+	e.jobsMu.Unlock()
+	e.recovered.Add(1)
+	e.logRecord(Record{Type: RecDone, Job: id, Result: summary, Spec: &specCopy})
+	return job, nil
 }
 
 // logRecord is the best-effort write-through: failures are counted, not
@@ -274,8 +394,11 @@ func (e *Engine) Get(id string) (*Job, bool) {
 
 // Cancel requests cancellation of a job. A queued job is canceled
 // immediately; a running job has its context canceled and reaches the
-// canceled state once the miner observes it. Terminal jobs are left
-// untouched. The returned status reflects the state after the request.
+// canceled state once the miner observes it. Terminal jobs keep their
+// state, but a recovered done job with a rehydration re-mine in flight
+// has that re-mine aborted — a deleted job must not repopulate caches
+// from beyond the grave. The returned status reflects the state after
+// the request.
 func (e *Engine) Cancel(id string) (Status, error) {
 	job, ok := e.Get(id)
 	if !ok {
@@ -294,14 +417,38 @@ func (e *Engine) Cancel(id string) (Status, error) {
 		if job.cancel != nil {
 			job.cancel()
 		}
+	default:
+		if job.rehydrateCancel != nil {
+			job.rehydrateCancel()
+		}
 	}
 	job.mu.Unlock()
 	if canceledWhileQueued {
 		// A canceled-while-queued job never reaches run(), so its
 		// terminal record is written here.
 		e.logRecord(Record{Type: RecCanceled, Job: job.id, Error: "canceled while queued"})
+		e.notifyTerminal(job)
 	}
 	return job.Snapshot(), nil
+}
+
+// SetOnTerminal installs (or replaces) the terminal-state hook. The
+// serving layer calls it after construction to wire admission release
+// and cluster replication; a hook given in Config.OnTerminal is
+// installed by New through the same path.
+func (e *Engine) SetOnTerminal(fn func(j *Job)) {
+	if fn == nil {
+		e.onTerminal.Store(nil)
+		return
+	}
+	e.onTerminal.Store(&fn)
+}
+
+// notifyTerminal invokes the OnTerminal hook, if configured.
+func (e *Engine) notifyTerminal(job *Job) {
+	if fn := e.onTerminal.Load(); fn != nil {
+		(*fn)(job)
+	}
 }
 
 // run executes one dequeued job through the full lifecycle.
@@ -395,6 +542,7 @@ func (e *Engine) run(job *Job) {
 	}
 	job.mu.Unlock()
 	e.logRecord(rec)
+	e.notifyTerminal(job)
 }
 
 // Analyze runs a spec synchronously through the same result cache the
@@ -435,7 +583,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	alreadyDraining := e.draining
 	if !alreadyDraining {
 		e.draining = true
-		close(e.queue)
+		e.queue.Close()
 	}
 	e.mu.Unlock()
 
@@ -471,8 +619,8 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Workers:      e.workers,
 		Busy:         int(e.busy.Load()),
-		QueueLen:     len(e.queue),
-		QueueCap:     cap(e.queue),
+		QueueLen:     e.queue.Len(),
+		QueueCap:     e.queue.Cap(),
 		Submitted:    e.submitted.Load(),
 		Completed:    e.completed.Load(),
 		Failed:       e.failed.Load(),

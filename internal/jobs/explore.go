@@ -528,34 +528,5 @@ func (e *Engine) SubmitExplore(spec ExploreSpec) (*Job, error) {
 		Support: spec.Support, Metrics: []string{spec.Metric}, TopK: spec.TopK,
 	}
 	job := &Job{id: id, spec: jspec, explore: &spec, state: StateQueued, created: time.Now()}
-
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.draining {
-		e.rejected.Add(1)
-		return nil, ErrShuttingDown
-	}
-	if st := e.store.Load(); st != nil {
-		rec := Record{Type: RecSubmitted, Job: id, Time: job.created, Spec: &jspec}
-		if err := st.Append(rec); err != nil {
-			e.storeErrs.Add(1)
-			e.rejected.Add(1)
-			return nil, fmt.Errorf("jobs: write-ahead submit: %w", err)
-		}
-	}
-	e.jobsMu.Lock()
-	e.jobs[id] = job
-	e.jobsMu.Unlock()
-	select {
-	case e.queue <- job:
-		e.submitted.Add(1)
-		return job, nil
-	default:
-		e.jobsMu.Lock()
-		delete(e.jobs, id)
-		e.jobsMu.Unlock()
-		e.rejected.Add(1)
-		e.logRecord(Record{Type: RecRejected, Job: id, Error: ErrQueueFull.Error()})
-		return nil, ErrQueueFull
-	}
+	return e.enqueue(job, false)
 }

@@ -107,13 +107,19 @@ type Spec struct {
 	Alpha    float64
 	// Timeout overrides the engine's default per-job deadline when > 0.
 	Timeout time.Duration
+	// Tenant is the admission identity the submission arrived under. It
+	// shapes queueing and quotas only — never the mined result — so it is
+	// excluded from CacheKey: two tenants analyzing the same dataset share
+	// one cache entry.
+	Tenant string `json:",omitempty"`
 }
 
 // CacheKey identifies the cached mining result for a spec. It covers
 // every input the mined lattice depends on — dataset hash, label
 // columns, support — plus the metric list and epsilon so a cached entry
 // always reproduces the full request byte-for-byte. Render-only knobs
-// (TopK, Alpha, Timeout) are deliberately excluded.
+// (TopK, Alpha, Timeout) and the admission identity (Tenant) are
+// deliberately excluded.
 func (s Spec) CacheKey() string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	parts := []string{
@@ -152,8 +158,12 @@ type Job struct {
 	// recompute, set during recovery from a v2 done record, is the spec
 	// to re-mine the full result from; rehydrateMu single-flights that
 	// re-mine so concurrent result fetches do not each run it.
-	recompute   *Spec
-	rehydrateMu sync.Mutex
+	// rehydrateCancel, non-nil only while that re-mine is in flight,
+	// aborts it — Cancel on a recovered done job must stop the re-mine
+	// instead of letting it complete and repopulate caches.
+	recompute       *Spec
+	rehydrateMu     sync.Mutex
+	rehydrateCancel func()
 
 	partial       atomic.Pointer[Snapshot]
 	progressDone  atomic.Int64
@@ -293,6 +303,11 @@ func (j *Job) Snapshot() Status {
 	}
 	return st
 }
+
+// NewID mints a job identifier in the engine's format. The cluster
+// forwarding layer mints IDs before a submission leaves the ingress
+// node, so hedged and retried forwards land idempotently under one ID.
+func NewID() (string, error) { return newJobID() }
 
 // newJobID returns a 16-hex-character random identifier.
 func newJobID() (string, error) {

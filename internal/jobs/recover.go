@@ -172,7 +172,18 @@ func (e *Engine) Rehydrate(ctx context.Context, job *Job) (*core.Result, error) 
 	if res != nil { // a concurrent fetch already re-mined it
 		return res, nil
 	}
-	res, _, err := e.analyzeCached(ctx, *spec, nil)
+	// Expose a cancel handle while the re-mine is in flight: Cancel on a
+	// recovered done job (DELETE mid-rehydrate) aborts the mine here
+	// instead of letting it finish and repopulate caches.
+	rctx, rcancel := context.WithCancel(ctx)
+	job.mu.Lock()
+	job.rehydrateCancel = rcancel
+	job.mu.Unlock()
+	res, _, err := e.analyzeCached(rctx, *spec, nil)
+	job.mu.Lock()
+	job.rehydrateCancel = nil
+	job.mu.Unlock()
+	rcancel()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,207 @@
+// Multi-tenant admission control over the HTTP API: quota and rate
+// denials as 429-with-Retry-After, grant release at terminal time, and
+// weighted fair queueing keeping a quiet tenant's latency flat while a
+// noisy tenant floods the queue.
+
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/jobs"
+	"repro/internal/registry"
+)
+
+// TestAdmissionTenantQuota429: a tenant at its active-job cap gets 429
+// with Retry-After while other tenants keep flowing, and the slot frees
+// when the running job terminates.
+func TestAdmissionTenantQuota429(t *testing.T) {
+	reg := registry.New(0)
+	release := make(chan struct{})
+	engine, err := jobs.New(jobs.Config{Registry: reg, Workers: 4, Analyze: gatedAnalyze(release)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := admission.NewController(admission.Limits{},
+		map[string]admission.Limits{"greedy": {MaxActive: 2}}, nil)
+	h := newTestServer(t, Options{Registry: reg, Engine: engine, Admission: ctrl}).Handler()
+
+	var ids []string
+	for i, tenant := range []string{"greedy", "greedy", "polite"} {
+		w := doTenant(t, h, http.MethodPost, fmt.Sprintf("/jobs?support=0.%02d", i+1), sampleCSV, tenant)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("submit %d (%s) = %d: %s", i, tenant, w.Code, w.Body.String())
+		}
+		ids = append(ids, decode[jobJSON](t, w).ID)
+	}
+	// Third greedy job: over the cap.
+	w := doTenant(t, h, http.MethodPost, "/jobs?support=0.04", sampleCSV, "greedy")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d: %s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// The default tenant has no cap: an untagged submit still lands.
+	if w := do(t, h, http.MethodPost, "/jobs?support=0.05", sampleCSV); w.Code != http.StatusAccepted {
+		t.Fatalf("default-tenant submit = %d: %s", w.Code, w.Body.String())
+	}
+
+	close(release)
+	for _, id := range ids {
+		if st := pollJob(t, h, id); st.State != "done" {
+			t.Fatalf("job %s = %s", id, st.State)
+		}
+	}
+	// Terminal release: greedy admits again once its jobs finish.
+	waitUntil(t, 5*time.Second, "quota slots released at terminal", func() bool {
+		return doTenant(t, h, http.MethodPost, "/jobs?support=0.06", sampleCSV, "greedy").Code == http.StatusAccepted
+	})
+	// The denial shows up in the tenant's statsz row.
+	stats := decode[statszJSON](t, do(t, h, http.MethodGet, "/statsz", ""))
+	var greedy *admission.TenantStats
+	for i := range stats.Admission {
+		if stats.Admission[i].Tenant == "greedy" {
+			greedy = &stats.Admission[i]
+		}
+	}
+	if greedy == nil || greedy.DeniedJobs < 1 || greedy.Admitted < 3 {
+		t.Errorf("greedy statsz row = %+v, want >=1 denial and >=3 admissions", greedy)
+	}
+}
+
+// TestAdmissionRateLimit429: a token-bucket rate limit denies the
+// burst-exceeding submit with a Retry-After matching the refill time.
+func TestAdmissionRateLimit429(t *testing.T) {
+	ctrl := admission.NewController(admission.Limits{},
+		map[string]admission.Limits{"bursty": {JobsPerSec: 0.5, Burst: 1}}, nil)
+	h := newTestServer(t, Options{Admission: ctrl}).Handler()
+
+	w := doTenant(t, h, http.MethodPost, "/jobs?support=0.1", sampleCSV, "bursty")
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", w.Code, w.Body.String())
+	}
+	w = doTenant(t, h, http.MethodPost, "/jobs?support=0.2", sampleCSV, "bursty")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("burst-exceeding submit = %d: %s", w.Code, w.Body.String())
+	}
+	// 1 token at 0.5 tokens/s refills in 2s.
+	if ra := w.Header().Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+}
+
+// latencyOf returns a job's created→finished latency from its
+// timestamps.
+func latencyOf(t *testing.T, st jobJSON) time.Duration {
+	t.Helper()
+	created, err := time.Parse(time.RFC3339Nano, st.CreatedAt)
+	if err != nil {
+		t.Fatalf("created_at %q: %v", st.CreatedAt, err)
+	}
+	finished, err := time.Parse(time.RFC3339Nano, st.FinishedAt)
+	if err != nil {
+		t.Fatalf("finished_at %q: %v", st.FinishedAt, err)
+	}
+	return finished.Sub(created)
+}
+
+func p50(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// TestAdmissionFairQueueIsolation is the multi-tenant fairness
+// acceptance check: with one worker and a noisy tenant flooding the
+// queue, a quiet tenant's jobs interleave via weighted fair queueing —
+// its p50 stays within 2x the unloaded baseline (plus scheduling
+// slack), and all its jobs finish before the noisy backlog drains,
+// which FIFO would invert.
+func TestAdmissionFairQueueIsolation(t *testing.T) {
+	const jobDelay = 5 * time.Millisecond
+	reg := registry.New(0)
+	ctrl := admission.NewController(admission.Limits{}, nil, nil)
+	engine, err := jobs.New(jobs.Config{
+		Registry: reg,
+		Workers:  1,
+		Queue:    NewFairJobQueue(128, ctrl),
+		Analyze: func(ctx context.Context, data *dataset.Dataset, spec jobs.Spec, tr *jobs.Tracker) (*core.Result, error) {
+			select {
+			case <-time.After(jobDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return jobs.RunAnalysis(ctx, data, spec, tr)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newTestServer(t, Options{Registry: reg, Engine: engine, Admission: ctrl}).Handler()
+	hash := decode[datasetJSON](t, do(t, h, http.MethodPost, "/datasets", sampleCSV)).Hash
+
+	// Distinct supports keep every job's cache key distinct, so each one
+	// really runs the delayed analysis.
+	submit := func(tenant string, support int) string {
+		w := doTenant(t, h, http.MethodPost,
+			fmt.Sprintf("/jobs?dataset=%s&support=0.%03d", hash, support), "", tenant)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("submit %s/%d = %d: %s", tenant, support, w.Code, w.Body.String())
+		}
+		return decode[jobJSON](t, w).ID
+	}
+
+	// Unloaded baseline: the quiet tenant alone.
+	const quietN, noisyN = 6, 30
+	var base []time.Duration
+	for i := 0; i < quietN; i++ {
+		id := submit("quiet", 100+i)
+		base = append(base, latencyOf(t, pollJob(t, h, id)))
+	}
+	baseP50 := p50(base)
+
+	// Loaded run: flood from the noisy tenant first, then the quiet jobs.
+	noisyIDs := make([]string, 0, noisyN)
+	for i := 0; i < noisyN; i++ {
+		noisyIDs = append(noisyIDs, submit("noisy", 200+i))
+	}
+	quietIDs := make([]string, 0, quietN)
+	for i := 0; i < quietN; i++ {
+		quietIDs = append(quietIDs, submit("quiet", 300+i))
+	}
+	var loaded []time.Duration
+	var lastQuiet, lastNoisy time.Time
+	for _, id := range quietIDs {
+		st := pollJob(t, h, id)
+		loaded = append(loaded, latencyOf(t, st))
+		if fin, err := time.Parse(time.RFC3339Nano, st.FinishedAt); err == nil && fin.After(lastQuiet) {
+			lastQuiet = fin
+		}
+	}
+	for _, id := range noisyIDs {
+		st := pollJob(t, h, id)
+		if fin, err := time.Parse(time.RFC3339Nano, st.FinishedAt); err == nil && fin.After(lastNoisy) {
+			lastNoisy = fin
+		}
+	}
+
+	loadedP50 := p50(loaded)
+	if limit := 2*baseP50 + 250*time.Millisecond; loadedP50 > limit {
+		t.Errorf("quiet p50 under load = %s, want <= %s (baseline %s)", loadedP50, limit, baseP50)
+	}
+	// The WFQ signature: the quiet tenant drains while the noisy backlog
+	// is still being served. FIFO would finish every noisy job first.
+	if !lastQuiet.Before(lastNoisy) {
+		t.Errorf("last quiet job finished at %s, after the noisy backlog drained at %s — queue is not fair",
+			lastQuiet.Format(time.RFC3339Nano), lastNoisy.Format(time.RFC3339Nano))
+	}
+}

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/jobs"
@@ -98,6 +101,11 @@ func (s *Server) handleDatasetRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if !existed {
+		// Replicate the dataset to the other owners of its hash, so a
+		// forwarded or failed-over job finds it resident there.
+		s.replicateSpill(entry.Hash, registry.Canonicalize(body))
+	}
 	writeJSON(w, http.StatusOK, datasetJSON{
 		Hash:       string(entry.Hash),
 		Rows:       entry.Data.NumRows(),
@@ -141,8 +149,12 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobSubmit implements POST /jobs: submit by registered dataset
-// hash (?dataset=...) or by inline CSV body. A full queue answers 429 —
-// the explicit backpressure contract — rather than blocking the client.
+// hash (?dataset=...) or by inline CSV body. A full queue (or an
+// admission denial) answers 429 — the explicit backpressure contract —
+// rather than blocking the client. With a cluster node attached the
+// submission routes to the dataset's owners: locally when this node is
+// one, otherwise forwarded with hedged retries; inline uploads travel
+// with the forward so the owner can register them.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := parseRequest(r)
 	if err != nil {
@@ -150,12 +162,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var hash registry.Hash
+	var csv []byte // canonical upload bytes, carried on cross-node forwards
+	var bytes int64
 	if h := r.URL.Query().Get("dataset"); h != "" {
-		if _, ok := s.reg.Get(registry.Hash(h)); !ok {
+		entry, ok := s.reg.Get(registry.Hash(h))
+		if !ok && s.cluster == nil {
+			// Clustered, the dataset may be resident on its owner even
+			// when this node has never seen it; single-node it is a 404.
 			writeError(w, http.StatusNotFound, "dataset "+h+" not registered")
 			return
 		}
 		hash = registry.Hash(h)
+		if ok {
+			bytes = entry.Bytes
+		}
 	} else {
 		body, ok := s.readBody(w, r)
 		if !ok {
@@ -167,18 +187,42 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		hash = entry.Hash
+		bytes = entry.Bytes
+		if s.cluster != nil {
+			csv = registry.Canonicalize(body)
+		}
 	}
-	job, err := s.engine.Submit(req.spec(hash))
-	switch {
-	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
-		return
-	case errors.Is(err, jobs.ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	case err != nil:
+	spec := req.spec(hash)
+	spec.Tenant = tenantOf(r)
+	id, err := jobs.NewID()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if n := s.cluster; n != nil {
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		ack, err := n.SubmitJob(r.Context(), cluster.JobRequest{
+			ID: id, SpecJSON: specJSON, Dataset: string(hash), Tenant: spec.Tenant, CSV: csv,
+		})
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		if job, ok := s.engine.Get(ack.ID); ok && ack.Node == n.Self() {
+			writeJSON(w, http.StatusAccepted, jobToJSON(job.Snapshot()))
+			return
+		}
+		// The job landed on a peer; the ack names the owning node.
+		writeJSON(w, http.StatusAccepted, ack)
+		return
+	}
+	job, err := s.submitLocal(id, spec, bytes)
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobToJSON(job.Snapshot()))
@@ -322,6 +366,14 @@ type statszJSON struct {
 	Datasets registry.Stats `json:"datasets"`
 	Ladder   ladderJSON     `json:"result_ladder"`
 	Monitors monitor.Stats  `json:"monitors"`
+	// Cluster is present when a cluster node is attached; its peer list
+	// is sorted by node ID. Admission is present when a controller is
+	// attached; rows are sorted by tenant. Both orderings are part of the
+	// statsz determinism contract — the whole payload is struct-shaped
+	// with sorted slices, so byte-for-byte diffs between snapshots are
+	// meaningful.
+	Cluster   *cluster.Stats          `json:"cluster,omitempty"`
+	Admission []admission.TenantStats `json:"admission,omitempty"`
 }
 
 // ladderJSON counts how often each rung of the graceful-degradation
@@ -354,5 +406,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		ladder.DiskLoads = ds.Spill.Loads
 		ladder.Quarantined = ds.Spill.Quarantined
 	}
-	writeJSON(w, http.StatusOK, statszJSON{Jobs: js, Datasets: ds, Ladder: ladder, Monitors: s.monitors.Stats()})
+	out := statszJSON{Jobs: js, Datasets: ds, Ladder: ladder, Monitors: s.monitors.Stats()}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		out.Cluster = &cs
+	}
+	if s.admission != nil {
+		out.Admission = s.admission.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }

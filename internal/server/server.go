@@ -43,6 +43,19 @@
 //	GET    /monitors/{id}/events Server-Sent Events stream of alert
 //	                       state transitions
 //	DELETE /monitors/{id}    delete a monitor
+//	POST   /internal/gossip     (clustered) peer heartbeat + liveness view
+//	POST   /internal/jobs       (clustered) forwarded job submission
+//	POST   /internal/replicate  (clustered) one replica payload chunk
+//
+// With a cluster node attached (AttachCluster; divexplorer-server
+// -peers) POST /jobs routes by dataset ownership on a consistent-hash
+// ring: an owner runs the job locally, any other node forwards it to
+// the highest-priority live owner with hedged retries. Accepted and
+// completed job records replicate to the dataset's other owners, which
+// adopt them if the owner dies. With an admission controller attached
+// (Options.Admission; -tenant-quotas) POST /jobs is gated per tenant
+// (X-Tenant header): quota or rate denials answer 429 with Retry-After,
+// and queued jobs drain by weighted fair queueing instead of FIFO.
 //
 // With a job store attached (divexplorer-server -store-dir) every job
 // lifecycle transition is written through to disk and replayed on boot,
@@ -84,8 +97,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/admission"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fpm"
 	"repro/internal/htmlreport"
@@ -117,6 +133,11 @@ type Options struct {
 	// (sharing the engine's WAL store when one is attached) is created
 	// when nil.
 	Monitors *monitor.Manager
+	// Admission enforces per-tenant quotas and rate limits on job
+	// submissions (X-Tenant header); nil admits everything. The server
+	// claims the engine's OnTerminal hook to release grants (and to
+	// replicate terminal records when a cluster node is attached).
+	Admission *admission.Controller
 }
 
 // Server ties the dataset registry and the job engine to HTTP handlers.
@@ -125,6 +146,16 @@ type Server struct {
 	reg      *registry.Registry
 	engine   *jobs.Engine
 	monitors *monitor.Manager
+
+	// cluster, when non-nil (AttachCluster), routes job submissions by
+	// dataset ownership and mounts the /internal/* peer endpoints.
+	cluster *cluster.Node
+
+	// admission, when non-nil, gates POST /jobs per tenant; admitted
+	// maps live job IDs to their grants for release at terminal time.
+	admission *admission.Controller
+	admMu     sync.Mutex
+	admitted  map[string]admittedJob
 
 	// Degradation-ladder counters for /statsz: results served straight
 	// from the in-memory job result (the top rung), results served as a
@@ -160,7 +191,18 @@ func New(opts Options) (*Server, error) {
 	if monitors == nil {
 		monitors = monitor.NewManager(monitor.Config{Store: engine.Store()})
 	}
-	return &Server{maxBody: maxBody, reg: reg, engine: engine, monitors: monitors}, nil
+	s := &Server{
+		maxBody:   maxBody,
+		reg:       reg,
+		engine:    engine,
+		monitors:  monitors,
+		admission: opts.Admission,
+		admitted:  make(map[string]admittedJob),
+	}
+	// The server owns the terminal hook: admission release plus cluster
+	// replication (both no-ops until the corresponding piece is wired).
+	engine.SetOnTerminal(s.jobTerminal)
+	return s, nil
 }
 
 // Engine returns the server's job engine (for shutdown wiring).
@@ -201,6 +243,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /monitors/{id}/events", s.handleMonitorIngest)
 	mux.HandleFunc("GET /monitors/{id}/events", s.handleMonitorEvents)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if s.cluster != nil {
+		// Peer-to-peer verbs, mounted only when clustered: gossip
+		// heartbeats, forwarded job submissions, replica streaming.
+		mux.HandleFunc("POST "+cluster.GossipPath, s.handleGossip)
+		mux.HandleFunc("POST "+cluster.ForwardPath, s.handleForwardedJob)
+		mux.HandleFunc("POST "+cluster.ReplicatePath, s.handleReplicate)
+	}
 	return mux
 }
 

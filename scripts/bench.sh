@@ -24,6 +24,13 @@
 #                                        index (0 allocs/op is the bar)
 #   BenchmarkWYAdjust                    the step-down adjustment fold,
 #                                        counts to monotone p-values
+#   BenchmarkRingLookup                  one consistent-hash owner lookup
+#                                        across cluster sizes — the cost
+#                                        every clustered submit pays
+#   BenchmarkForwardJob                  a full SubmitJob forward over
+#                                        the in-memory transport (hedge
+#                                        machinery included, no hedge
+#                                        fired)
 #
 # — and writes them as BENCH_<date>.json (schema divex-bench/v1, see
 # internal/benchfmt) in the repository root. Committing the file after a
@@ -58,6 +65,8 @@ echo "==> benchmarks (-benchtime ${benchtime}, -benchmem)"
         -bench '^BenchmarkLatticeExpand$' ./internal/lattice
     go test -run=NONE -benchmem -benchtime="${benchtime}" \
         -bench '^(BenchmarkPermutationPass|BenchmarkWYAdjust)$' ./internal/permtest
+    go test -run=NONE -benchmem -benchtime="${benchtime}" \
+        -bench '^(BenchmarkRingLookup|BenchmarkForwardJob)$' ./internal/cluster
 } | tee /dev/stderr | go run ./cmd/benchfmt -date "${date}" -out "${out}"
 
 echo "bench: snapshot written to ${out}"

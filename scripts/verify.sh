@@ -50,6 +50,17 @@
 #                                  (same seed, any worker count) under
 #                                  the race detector, along with the
 #                                  /significance endpoint and job route
+#   6e. cluster-race tier          the fault-tolerant cluster tier twice
+#                                  more under -race: the placement ring,
+#                                  phi-accrual gossip, hedged forwards
+#                                  and replica streaming, plus the
+#                                  seeded kill/partition/slow-walk chaos
+#                                  tests over full servers (no job lost,
+#                                  none double-completed on live nodes)
+#   6f. admission tier             per-tenant quotas, token-bucket rate
+#                                  limits (429 + Retry-After) and the
+#                                  weighted-fair-queue isolation test
+#                                  under -race
 #   7. fuzz smoke                  each native fuzz target for 10s of
 #                                  fresh input generation on top of the
 #                                  checked-in seed corpus (one target
@@ -108,6 +119,14 @@ echo "==> significance-race tier (permutation engine + WY control + /significanc
 go test -race -count=2 ./internal/permtest/...
 go test -race -count=2 -run 'Permutation|WY|PermFDR|CoverIndex|MaxEnt|Significance' \
     ./internal/fpm ./internal/core ./internal/jobs ./internal/server
+
+echo "==> cluster-race tier (ring + gossip + chaos failover, -count=2)"
+go test -race -count=2 ./internal/cluster/...
+go test -race -count=2 -run 'Cluster' ./internal/server
+
+echo "==> admission tier (tenant quotas + weighted fair queueing, -count=2)"
+go test -race -count=2 ./internal/admission/...
+go test -race -run 'Admission|FairQueue' ./internal/server
 
 echo "==> fuzz smoke (10s per target)"
 go test -run=NONE -fuzz='^FuzzParseCSV$' -fuzztime=10s ./internal/dataset
